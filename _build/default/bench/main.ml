@@ -1,0 +1,253 @@
+(** Benchmark entry point: regenerates every table and figure of the
+    paper's evaluation.
+
+    - Bechamel micro-benchmarks (native runtime, wall-clock ns) for the
+      per-primitive costs behind Table 1;
+    - the simulated-figure drivers for Figs. 8–16 and Table 1;
+    - ablations for the design choices DESIGN.md calls out (batch size,
+      slot count, dwCAS vs LL/SC head).
+
+    Usage: [main.exe [section ...] [--full]] where section is one of
+    [micro fig8 fig10a fig10b fig11 fig13 fig15 table1 ablation
+    sensitivity breakdown all]
+    (default: all, quick scale). *)
+
+module Figures = Smr_harness.Figures
+module Workload = Smr_harness.Workload
+module Registry = Smr_harness.Registry
+
+(* ---- Bechamel micro-benchmarks over the native runtime ---------------- *)
+
+module Native = Smr_runtime.Native_runtime
+module N_leaky = Smr.Leaky.Make (Native)
+module N_ebr = Smr.Ebr.Make (Native)
+module N_hp = Smr.Hp.Make (Native)
+module N_he = Smr.He.Make (Native)
+module N_ibr = Smr.Ibr.Make (Native)
+module N_hyaline = Hyaline_core.Hyaline.Make (Native)
+module N_hyaline_llsc = Hyaline_core.Hyaline.Make_llsc (Native)
+module N_hyaline1 = Hyaline_core.Hyaline1.Make (Native)
+module N_hyaline_s = Hyaline_core.Hyaline_s.Make (Native)
+module N_hyaline1s = Hyaline_core.Hyaline1s.Make (Native)
+
+let native_schemes : (string * (module Smr.Smr_intf.SMR)) list =
+  [
+    ("Leaky", (module N_leaky));
+    ("Epoch", (module N_ebr));
+    ("HP", (module N_hp));
+    ("HE", (module N_he));
+    ("IBR", (module N_ibr));
+    ("Hyaline", (module N_hyaline));
+    ("Hyaline/llsc", (module N_hyaline_llsc));
+    ("Hyaline-1", (module N_hyaline1));
+    ("Hyaline-S", (module N_hyaline_s));
+    ("Hyaline-1S", (module N_hyaline1s));
+  ]
+
+let bench_cfg =
+  {
+    Smr.Smr_intf.default_config with
+    max_threads = 8;
+    slots = 8;
+    batch_size = 32;
+  }
+
+(* One Test.make per scheme per primitive: enter+leave, protect, retire. *)
+let micro_tests () =
+  let open Bechamel in
+  let tests_of (name, (module S : Smr.Smr_intf.SMR)) =
+    let t = S.create bench_cfg in
+    let cell = Native.Atomic.make (Some (S.alloc t 0)) in
+    let enter_leave =
+      Test.make
+        ~name:(name ^ "/enter-leave")
+        (Staged.stage (fun () -> S.leave t (S.enter t)))
+    in
+    let protect =
+      let g = S.enter t in
+      Test.make
+        ~name:(name ^ "/protect")
+        (Staged.stage (fun () ->
+             ignore
+               (S.protect t g ~idx:0
+                  ~read:(fun () -> Native.Atomic.get cell)
+                  ~target:(fun o -> o))))
+    in
+    let retire =
+      let g = S.enter t in
+      Test.make
+        ~name:(name ^ "/alloc-retire")
+        (Staged.stage (fun () -> S.retire t g (S.alloc t 0)))
+    in
+    [ enter_leave; protect; retire ]
+  in
+  List.concat_map tests_of native_schemes
+
+let run_micro ppf =
+  let open Bechamel in
+  Native.set_self 0;
+  Fmt.pf ppf "# Micro-benchmarks (native runtime, wall clock)@.";
+  Fmt.pf ppf "One Bechamel test per scheme per primitive; ns per call.@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  Fmt.pf ppf "%-28s %14s@." "benchmark" "ns/call";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          Fmt.pf ppf "%-28s %14.1f@." name estimate)
+        results)
+    (micro_tests ());
+  Fmt.pf ppf "@."
+
+(* ---- Ablations --------------------------------------------------------- *)
+
+let ablation ppf ~scale =
+  Fmt.pf ppf "# Ablations (hash map, write-heavy, 9 threads)@.@.";
+  let threads = 9 in
+  let point ~cfg scheme =
+    Figures.run_point ~cfg ~ds:Registry.Hashmap ~scale
+      ~mix:Workload.write_heavy scheme threads
+  in
+  (* Batch size sweep (§3.2: batch size plays the role of epoch frequency). *)
+  Fmt.pf ppf "## Hyaline batch size (slots = 32)@.";
+  Fmt.pf ppf "%-12s %14s %14s@." "batch" "throughput" "unreclaimed";
+  List.iter
+    (fun batch_size ->
+      let cfg =
+        { (Figures.base_cfg ~max_threads:1) with slots = 32; batch_size }
+      in
+      let r = point ~cfg (module Registry.Hyaline : Registry.SMR) in
+      Fmt.pf ppf "%-12d %14.3f %14.1f@." (max batch_size 33) r.throughput
+        r.avg_unreclaimed)
+    [ 16; 64; 128; 256 ];
+  Fmt.pf ppf "@.";
+  (* Slot count: k = 1 is the single-list §3.1 algorithm. *)
+  Fmt.pf ppf "## Hyaline slot count (batch = max(32, k+1))@.";
+  Fmt.pf ppf "%-12s %14s %14s@." "slots" "throughput" "unreclaimed";
+  List.iter
+    (fun slots ->
+      let cfg = { (Figures.base_cfg ~max_threads:1) with slots } in
+      let r = point ~cfg (module Registry.Hyaline : Registry.SMR) in
+      Fmt.pf ppf "%-12d %14.3f %14.1f@." slots r.throughput r.avg_unreclaimed)
+    [ 1; 8; 32; 128 ];
+  Fmt.pf ppf "@.";
+  (* Head implementation: dwCAS vs the Fig. 7 LL/SC model. *)
+  Fmt.pf ppf "## Head implementation (slots = 32, batch = 33)@.";
+  Fmt.pf ppf "%-12s %14s %14s@." "head" "throughput" "unreclaimed";
+  List.iter
+    (fun (name, scheme) ->
+      let r = point ~cfg:(Figures.base_cfg ~max_threads:1) scheme in
+      Fmt.pf ppf "%-12s %14.3f %14.1f@." name r.throughput r.avg_unreclaimed)
+    [
+      ("dwcas", (module Registry.Hyaline : Registry.SMR));
+      ("llsc", (module Registry.Hyaline_llsc));
+    ];
+  Fmt.pf ppf "@."
+
+(* ---- Atomic-operation breakdown ----------------------------------------- *)
+
+(* How many atomic operations of each kind one data-structure operation
+   costs under each scheme — the microscopic story behind every throughput
+   figure. *)
+let breakdown ppf ~scale =
+  Fmt.pf ppf "# Atomic ops per hash-map operation (write-heavy, 9 threads)@.@.";
+  Fmt.pf ppf "%-12s %8s %8s %8s %8s %8s %8s %8s@." "scheme" "reads" "writes"
+    "plain-w" "cas-ok" "cas-fail" "faa" "swap";
+  List.iter
+    (fun (name, scheme) ->
+      Smr_runtime.Sim_cell.reset_counts ();
+      let r =
+        Figures.run_point ~ds:Registry.Hashmap ~scale
+          ~mix:Workload.write_heavy scheme 9
+      in
+      let c = Smr_runtime.Sim_cell.counts in
+      let per x = float_of_int x /. float_of_int (max 1 r.ops) in
+      Fmt.pf ppf "%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f@." name
+        (per c.reads) (per c.writes) (per c.plain_writes) (per c.cas_ok)
+        (per c.cas_fail) (per c.faas) (per c.swaps))
+    (Registry.all_schemes Registry.X86);
+  Fmt.pf ppf "@."
+
+(* ---- Cost-model sensitivity -------------------------------------------- *)
+
+(* The figure shapes should not be an artefact of the exact atomic-op
+   prices. Sweep the CAS/fenced-store price from optimistic to
+   pessimistic and show the scheme ordering on the hash map is stable. *)
+let sensitivity ppf ~scale =
+  Fmt.pf ppf "# Cost-model sensitivity (hash map, write-heavy, 36 threads)@.";
+  Fmt.pf ppf
+    "Throughput ordering under different atomic-op price models.@.@.";
+  let schemes =
+    [
+      ("Leaky", (module Registry.Leaky : Registry.SMR));
+      ("Epoch", (module Registry.Ebr));
+      ("HP", (module Registry.Hp));
+      ("Hyaline", (module Registry.Hyaline));
+      ("Hyaline-1", (module Registry.Hyaline1));
+    ]
+  in
+  let models =
+    [
+      ("cheap-rmw (cas=2)", { Smr_runtime.Sim_cell.read = 1; write = 2; cas = 2; faa = 2; swap = 2 });
+      ("default  (cas=4)", Smr_runtime.Sim_cell.default_costs);
+      ("dear-rmw (cas=10)", { read = 1; write = 6; cas = 10; faa = 8; swap = 9 });
+    ]
+  in
+  Fmt.pf ppf "%-20s" "model";
+  List.iter (fun (n, _) -> Fmt.pf ppf " %12s" n) schemes;
+  Fmt.pf ppf "@.";
+  let saved = !Smr_runtime.Sim_cell.costs in
+  List.iter
+    (fun (mname, model) ->
+      Smr_runtime.Sim_cell.costs := model;
+      Fmt.pf ppf "%-20s" mname;
+      List.iter
+        (fun (_, scheme) ->
+          let r =
+            Figures.run_point ~ds:Registry.Hashmap ~scale
+              ~mix:Workload.write_heavy scheme 36
+          in
+          Fmt.pf ppf " %12.3f" r.throughput)
+        schemes;
+      Fmt.pf ppf "@.")
+    models;
+  Smr_runtime.Sim_cell.costs := saved;
+  Fmt.pf ppf "@."
+
+(* ---- Driver ------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale = if full then Figures.Full else Figures.Quick in
+  let sections =
+    match List.filter (fun a -> a <> "--full") args with
+    | [] -> [ "all" ]
+    | s -> s
+  in
+  let want s = List.mem "all" sections || List.mem s sections in
+  let ppf = Fmt.stdout in
+  if want "micro" then run_micro ppf;
+  if want "table1" then Figures.table1 ppf;
+  if want "fig8" then Figures.fig8_9 ppf ~scale;
+  if want "fig10a" then Figures.fig10a ppf ~scale;
+  if want "fig10b" then Figures.fig10b ppf ~scale;
+  if want "fig11" then Figures.fig11_12 ppf ~scale;
+  if want "fig13" then Figures.fig13_14 ppf ~scale;
+  if want "fig15" then Figures.fig15_16 ppf ~scale;
+  if want "ablation" then ablation ppf ~scale;
+  if want "sensitivity" then sensitivity ppf ~scale;
+  if want "breakdown" then breakdown ppf ~scale

@@ -1,0 +1,1 @@
+bin/figures.ml: Arg Cmd Cmdliner Fmt List Smr Smr_harness String Term

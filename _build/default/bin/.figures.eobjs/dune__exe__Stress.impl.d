@@ -1,0 +1,1 @@
+bin/stress.ml: Arg Cmd Cmdliner Fmt List Printexc Random Smr Smr_harness Smr_runtime String Term

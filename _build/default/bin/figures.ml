@@ -1,0 +1,91 @@
+(** CLI for regenerating individual figures, or single workload points with
+    custom parameters — the knob-twiddling companion to [bench/main.exe]. *)
+
+open Cmdliner
+
+let scale_term =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run at full (paper) scale.")
+  in
+  Term.(
+    const (fun f -> if f then Smr_harness.Figures.Full else Smr_harness.Figures.Quick)
+    $ full)
+
+let fig_cmd name doc driver =
+  let run scale = driver Fmt.stdout ~scale in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+
+let point_cmd =
+  let doc = "Run one workload point with explicit parameters." in
+  let ds_conv =
+    Arg.enum
+      [
+        ("list", Smr_harness.Registry.Hm_list);
+        ("hashmap", Smr_harness.Registry.Hashmap);
+        ("nm-tree", Smr_harness.Registry.Nm_tree);
+        ("bonsai", Smr_harness.Registry.Bonsai);
+      ]
+  in
+  let scheme_conv =
+    Arg.enum
+      (List.map
+         (fun (n, m) -> (String.lowercase_ascii n, m))
+         (Smr_harness.Registry.all_schemes Smr_harness.Registry.X86))
+  in
+  let ds =
+    Arg.(
+      value
+      & opt ds_conv Smr_harness.Registry.Hashmap
+      & info [ "d"; "ds" ] ~doc:"Data structure.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv (module Smr_harness.Registry.Hyaline : Smr_harness.Registry.SMR)
+      & info [ "s"; "scheme" ] ~doc:"SMR scheme.")
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Active threads.")
+  in
+  let stalled =
+    Arg.(value & opt int 0 & info [ "stalled" ] ~doc:"Stalled threads.")
+  in
+  let reads =
+    Arg.(
+      value & opt int 0
+      & info [ "reads" ] ~doc:"Percentage of get operations (0-100).")
+  in
+  let run ds scheme threads stalled reads scale =
+    let r =
+      Smr_harness.Figures.run_point ~stalled ~ds ~scale
+        ~mix:{ Smr_harness.Workload.read_pct = reads }
+        scheme threads
+    in
+    Fmt.pr "ops=%d steps=%d throughput=%.3f avg_unreclaimed=%.1f@." r.ops
+      r.steps r.throughput r.avg_unreclaimed;
+    Fmt.pr "final: %a@." Smr.Smr_intf.pp_stats r.final
+  in
+  Cmd.v (Cmd.info "point" ~doc)
+    Term.(
+      const run $ ds $ scheme $ threads $ stalled $ reads $ scale_term)
+
+let () =
+  let open Smr_harness.Figures in
+  let cmds =
+    [
+      fig_cmd "fig8" "Figures 8 & 9: x86-64 write-heavy." fig8_9;
+      fig_cmd "fig10a" "Figure 10a: robustness under stalled threads." fig10a;
+      fig_cmd "fig10b" "Figure 10b: trimming." fig10b;
+      fig_cmd "fig11" "Figures 11 & 12: x86-64 read-mostly." fig11_12;
+      fig_cmd "fig13" "Figures 13 & 14: PowerPC write-heavy." fig13_14;
+      fig_cmd "fig15" "Figures 15 & 16: PowerPC read-mostly." fig15_16;
+      Cmd.v (Cmd.info "table1" ~doc:"Table 1: scheme comparison.")
+        Term.(const (fun () -> table1 Fmt.stdout) $ const ());
+      point_cmd;
+    ]
+  in
+  let info =
+    Cmd.info "hyaline-figures"
+      ~doc:"Regenerate the Hyaline paper's evaluation figures."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

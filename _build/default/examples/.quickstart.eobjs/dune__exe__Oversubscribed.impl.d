@@ -1,0 +1,1 @@
+examples/oversubscribed.ml: Array Fmt Hyaline_core List Random Smr Smr_ds Smr_runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hyaline_core Smr Smr_ds Smr_runtime

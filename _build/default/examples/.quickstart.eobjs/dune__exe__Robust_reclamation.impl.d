@@ -1,0 +1,1 @@
+examples/robust_reclamation.ml: Fmt Hyaline_core List Random Smr Smr_ds Smr_runtime

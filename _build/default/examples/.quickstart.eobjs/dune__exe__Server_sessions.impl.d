@@ -1,0 +1,1 @@
+examples/server_sessions.ml: Fmt Hyaline_core Smr Smr_ds Smr_runtime

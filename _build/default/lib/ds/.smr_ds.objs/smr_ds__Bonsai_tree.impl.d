@@ -1,0 +1,1 @@
+lib/ds/bonsai_tree.ml: Ds_intf List Option Smr

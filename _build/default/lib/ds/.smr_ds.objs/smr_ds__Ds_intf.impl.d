@@ -1,0 +1,1 @@
+lib/ds/ds_intf.ml: Smr

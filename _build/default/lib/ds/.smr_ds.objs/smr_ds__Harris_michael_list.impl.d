@@ -1,0 +1,1 @@
+lib/ds/harris_michael_list.ml: Ds_intf Smr

@@ -1,0 +1,1 @@
+lib/ds/michael_hashmap.ml: Array Ds_intf Harris_michael_list Hyaline_core Smr

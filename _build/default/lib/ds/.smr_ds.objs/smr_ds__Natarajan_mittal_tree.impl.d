@@ -1,0 +1,1 @@
+lib/ds/natarajan_mittal_tree.ml: Ds_intf Smr

@@ -1,0 +1,1 @@
+lib/ds/skiplist.ml: Array Ds_intf Smr Stdlib

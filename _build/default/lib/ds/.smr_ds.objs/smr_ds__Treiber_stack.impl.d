@@ -1,0 +1,1 @@
+lib/ds/treiber_stack.ml: Smr

@@ -1,0 +1,65 @@
+(** Common interface of the benchmark data structures (§6): an integer set
+    supporting insert / remove / contains, built over an SMR scheme.
+
+    Each plain operation brackets itself with [enter]/[leave]; the [_with]
+    variants take an explicit guard so a caller can run several operations
+    under one bracket and use {!CONC_SET.refresh} (Hyaline's trim) between
+    them — the Fig. 10b experiment. *)
+
+module type CONC_SET = sig
+  val ds_name : string
+
+  module S : Smr.Smr_intf.SMR
+
+  type t
+  type guard
+
+  val create : ?buckets:int -> Smr.Smr_intf.config -> t
+  (** [buckets] is honoured by the hash map and ignored elsewhere. *)
+
+  val enter : t -> guard
+  val leave : t -> guard -> unit
+  val refresh : t -> guard -> guard
+
+  val insert_with : t -> guard -> int -> bool
+  val remove_with : t -> guard -> int -> bool
+  val contains_with : t -> guard -> int -> bool
+
+  val insert : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+
+  val flush : t -> unit
+  (** Quiescence-only: drain scheme-local pending reclamation. *)
+
+  val stats : t -> Smr.Smr_intf.stats
+end
+
+let same_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | None, Some _ | Some _, None -> false
+
+(** Derive the self-bracketing operations from the [_with] ones. *)
+module Bracket (X : sig
+  type t
+  type guard
+
+  val enter : t -> guard
+  val leave : t -> guard -> unit
+  val insert_with : t -> guard -> int -> bool
+  val remove_with : t -> guard -> int -> bool
+  val contains_with : t -> guard -> int -> bool
+end) =
+struct
+  let bracketed op t key =
+    let g = X.enter t in
+    let r = op t g key in
+    X.leave t g;
+    r
+
+  let insert t key = bracketed X.insert_with t key
+  let remove t key = bracketed X.remove_with t key
+  let contains t key = bracketed X.contains_with t key
+end

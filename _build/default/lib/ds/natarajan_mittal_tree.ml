@@ -1,0 +1,266 @@
+(** Natarajan & Mittal's lock-free external binary search tree (PPoPP'14).
+
+    Internal nodes route; leaves store keys. Each child edge carries two
+    bits (packed into pointers in the original, a record here): [flag]
+    marks the edge to a leaf being deleted, [tag] immobilizes the sibling
+    edge during cleanup. Deletion is two-phase: {i injection} flags the
+    parent→leaf edge, then {i cleanup} tags the sibling edge and swings the
+    ancestor's edge to the sibling, unlinking parent and leaf in one CAS;
+    the winning CAS retires both. Operations that fail on a flagged or
+    tagged edge help complete the pending cleanup, which gives
+    lock-freedom.
+
+    Hazard slots: 0 ancestor, 1 successor, 2 parent, 3 leaf/next —
+    transfers between roles re-publish an already-protected node, which is
+    safe by the standard HP transfer rule. *)
+
+module Make (S : Smr.Smr_intf.SMR) = struct
+  let ds_name = "nm-tree"
+
+  module S = S
+  module A = S.R.Atomic
+
+  (* Sentinel keys: all real keys are < inf1 < inf2. *)
+  let inf1 = max_int - 1
+  let inf2 = max_int
+
+  type pl = Leaf of int | Internal of internal
+  and internal = { ikey : int; left : edge A.t; right : edge A.t }
+  and edge = { tgt : pl S.node; flag : bool; tag : bool }
+
+  type t = { smr : pl S.t; root : internal  (* node R; never retired *) }
+
+  type guard = pl S.guard
+
+  type seek_record = {
+    ancestor : internal;  (* payload of the ancestor node *)
+    anc_field : edge A.t;  (* ancestor's child edge toward successor *)
+    successor : pl S.node;
+    parent : pl S.node;
+    par : internal;  (* payload of parent *)
+    leaf : pl S.node;
+    leaf_key : int;
+    leaf_edge : edge;  (* value of parent's edge to leaf when read *)
+  }
+
+  let key_of n = match n with Leaf k -> k | Internal i -> i.ikey
+
+  let clean_edge tgt = { tgt; flag = false; tag = false }
+
+  let create ?buckets:_ cfg =
+    let smr = S.create cfg in
+    let leaf k = S.alloc smr (Leaf k) in
+    let s_node =
+      S.alloc smr
+        (Internal
+           {
+             ikey = inf1;
+             left = A.make (clean_edge (leaf inf1));
+             right = A.make (clean_edge (leaf inf2));
+           })
+    in
+    let root =
+      {
+        ikey = inf2;
+        left = A.make (clean_edge s_node);
+        right = A.make (clean_edge (leaf inf2));
+      }
+    in
+    { smr; root }
+
+  let enter t = S.enter t.smr
+  let leave t g = S.leave t.smr g
+  let refresh t g = S.refresh t.smr g
+
+  let child i key = if key < i.ikey then i.left else i.right
+
+  let read_edge t g ~idx field =
+    S.protect t.smr g ~idx
+      ~read:(fun () -> A.get field)
+      ~target:(fun e -> Some e.tgt)
+
+  (* Re-publish an already-protected node under a new role slot (HP
+     transfer: the cached value cannot be freed while its old slot holds
+     it, and the validating re-read trivially succeeds). *)
+  let transfer t g ~idx node =
+    ignore
+      (S.protect t.smr g ~idx
+         ~read:(fun () -> node)
+         ~target:(fun n -> Some n))
+
+  let seek t g key =
+    let rec descend ~ancestor ~anc_field ~successor ~parent ~par ~par_field
+        ~leaf_edge =
+      let leaf = leaf_edge.tgt in
+      match S.data leaf with
+      | Leaf k ->
+          {
+            ancestor;
+            anc_field;
+            successor;
+            parent;
+            par;
+            leaf;
+            leaf_key = k;
+            leaf_edge;
+          }
+      | Internal i ->
+          let ancestor, anc_field, successor =
+            if not leaf_edge.tag then begin
+              transfer t g ~idx:0 parent;
+              transfer t g ~idx:1 leaf;
+              (par, par_field, leaf)
+            end
+            else (ancestor, anc_field, successor)
+          in
+          transfer t g ~idx:2 leaf;
+          let next_field = child i key in
+          let next_edge = read_edge t g ~idx:3 next_field in
+          descend ~ancestor ~anc_field ~successor ~parent:leaf ~par:i
+            ~par_field:next_field ~leaf_edge:next_edge
+    in
+    (* The root node R is embedded in [t] and never retired; its S child is
+       read under slot 1 and doubles as the initial successor/parent. *)
+    let s_edge = read_edge t g ~idx:1 t.root.left in
+    let s_node = s_edge.tgt in
+    transfer t g ~idx:2 s_node;
+    let s_internal =
+      match S.data s_node with
+      | Internal i -> i
+      | Leaf _ -> invalid_arg "nm-tree: S node must be internal"
+    in
+    let first_field = child s_internal key in
+    let first_edge = read_edge t g ~idx:3 first_field in
+    descend ~ancestor:t.root ~anc_field:t.root.left ~successor:s_node
+      ~parent:s_node ~par:s_internal ~par_field:first_field
+      ~leaf_edge:first_edge
+
+  (* Cleanup (Fig. 5 of the original): the flagged child of [parent] is the
+     leaf being removed; tag the sibling edge, then swing the ancestor edge
+     to the sibling, preserving the sibling's flag. Returns true iff this
+     call's CAS unlinked — the winner retires parent and leaf. *)
+  let cleanup t g key r =
+    let child_field = child r.par key in
+    let sibling_field =
+      if child_field == r.par.left then r.par.right else r.par.left
+    in
+    let child_edge = A.get child_field in
+    let sibling_field =
+      if child_edge.flag then sibling_field else child_field
+    in
+    let flagged_field =
+      if child_edge.flag then child_field
+      else if sibling_field == r.par.left then r.par.right
+      else r.par.left
+    in
+    (* Tag the sibling edge so the parent cannot change under us. *)
+    let rec tag_sibling () =
+      let sv = A.get sibling_field in
+      if sv.tag then sv
+      else if A.compare_and_set sibling_field sv { sv with tag = true } then
+        { sv with tag = true }
+      else tag_sibling ()
+    in
+    let sv = tag_sibling () in
+    let av = A.get r.anc_field in
+    if av.tgt == r.successor && not av.tag then
+      if
+        A.compare_and_set r.anc_field av
+          { tgt = sv.tgt; flag = sv.flag; tag = false }
+      then begin
+        (* Unlinked: retire the parent and the flagged leaf. *)
+        let removed_leaf =
+          if child_edge.flag then child_edge.tgt
+          else (A.get flagged_field).tgt
+        in
+        S.retire t.smr g r.parent;
+        S.retire t.smr g removed_leaf;
+        true
+      end
+      else false
+    else false
+
+  let contains_with t g key =
+    let r = seek t g key in
+    r.leaf_key = key
+
+  let rec insert_with t g key =
+    let r = seek t g key in
+    if r.leaf_key = key then false
+    else begin
+      let parent_field = child r.par key in
+      let new_leaf = S.alloc t.smr (Leaf key) in
+      let old_leaf = r.leaf in
+      let ikey = max key r.leaf_key in
+      let l, rgt =
+        if key < r.leaf_key then (new_leaf, old_leaf) else (old_leaf, new_leaf)
+      in
+      let internal =
+        S.alloc t.smr
+          (Internal
+             {
+               ikey;
+               left = A.make (clean_edge l);
+               right = A.make (clean_edge rgt);
+             })
+      in
+      let expected = r.leaf_edge in
+      if
+        (not expected.flag) && (not expected.tag)
+        && A.compare_and_set parent_field expected (clean_edge internal)
+      then true
+      else begin
+        (* Failed on a flagged/tagged edge to our leaf: help the pending
+           deletion, then retry. *)
+        let e = A.get parent_field in
+        if e.tgt == old_leaf && (e.flag || e.tag) then
+          ignore (cleanup t g key r);
+        insert_with t g key
+      end
+    end
+
+  let remove_with t g key =
+    let rec injection () =
+      let r = seek t g key in
+      if r.leaf_key <> key then false
+      else begin
+        let parent_field = child r.par key in
+        let expected = r.leaf_edge in
+        if
+          (not expected.flag) && (not expected.tag)
+          && A.compare_and_set parent_field expected
+               { tgt = r.leaf; flag = true; tag = false }
+        then begin
+          (* Injected; now complete the cleanup, ours or by helping. *)
+          if cleanup t g key r then true else cleanup_phase r.leaf
+        end
+        else begin
+          let e = A.get parent_field in
+          if e.tgt == r.leaf && (e.flag || e.tag) then
+            ignore (cleanup t g key r);
+          injection ()
+        end
+      end
+    and cleanup_phase target_leaf =
+      let r = seek t g key in
+      if not (r.leaf == target_leaf) then true
+        (* someone else finished removing our leaf *)
+      else if cleanup t g key r then true
+      else cleanup_phase target_leaf
+    in
+    injection ()
+
+  include Ds_intf.Bracket (struct
+    type nonrec t = t
+    type nonrec guard = guard
+
+    let enter = enter
+    let leave = leave
+    let insert_with = insert_with
+    let remove_with = remove_with
+    let contains_with = contains_with
+  end)
+
+  let flush t = S.flush t.smr
+  let stats t = S.stats t.smr
+end

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Fmt List Option Registry Smr Smr_runtime Workload

@@ -1,0 +1,1 @@
+lib/harness/linearize.ml: Array Bool Fun Int Set

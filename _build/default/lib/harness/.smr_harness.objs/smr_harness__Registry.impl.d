@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Hyaline_core List Smr Smr_ds Smr_runtime

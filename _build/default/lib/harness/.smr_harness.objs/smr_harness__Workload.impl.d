@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Random Smr Smr_ds Smr_runtime

@@ -1,0 +1,78 @@
+(** Wing & Gong linearizability checking for histories recorded under the
+    deterministic scheduler.
+
+    A history is a set of completed operations with invocation/response
+    timestamps (the simulator's cost clock). The checker searches for a
+    total order that (a) respects real time — an operation that responded
+    before another was invoked must be ordered first — and (b) replays
+    correctly against a sequential specification. Exponential in the worst
+    case, fine for the small histories the tests record.
+
+    This complements the per-key counting checks: those validate final
+    states; this validates the *responses* of every individual operation
+    against some legal sequential witness. *)
+
+type ('op, 'res) event = {
+  op : 'op;
+  result : 'res;
+  inv : int;  (** clock at invocation *)
+  res : int;  (** clock at response; must be >= inv *)
+}
+
+(** [check ~init ~apply ~equal_res history] — [apply state op] returns the
+    post-state and the result the sequential specification gives. *)
+let check ~init ~apply ~equal_res history =
+  let events = Array.of_list history in
+  let n = Array.length events in
+  let taken = Array.make n false in
+  (* An event is a linearization candidate while no *pending* event has
+     already responded before its invocation. *)
+  let candidate i =
+    (not taken.(i))
+    && Array.for_all Fun.id
+         (Array.mapi
+            (fun j e ->
+              taken.(j) || j = i || not (e.res < events.(i).inv))
+            events)
+  in
+  let rec dfs state remaining =
+    if remaining = 0 then true
+    else begin
+      let rec try_from i =
+        if i >= n then false
+        else if candidate i then begin
+          let e = events.(i) in
+          let state', expected = apply state e.op in
+          if equal_res expected e.result then begin
+            taken.(i) <- true;
+            if dfs state' (remaining - 1) then true
+            else begin
+              taken.(i) <- false;
+              try_from (i + 1)
+            end
+          end
+          else try_from (i + 1)
+        end
+        else try_from (i + 1)
+      in
+      try_from 0
+    end
+  in
+  dfs init n
+
+(** Integer-set specification matching {!Smr_ds.Ds_intf.CONC_SET}. *)
+module Set_spec = struct
+  module S = Set.Make (Int)
+
+  type op = Insert of int | Remove of int | Contains of int
+
+  let apply state = function
+    | Insert k ->
+        if S.mem k state then (state, false) else (S.add k state, true)
+    | Remove k ->
+        if S.mem k state then (S.remove k state, true) else (state, false)
+    | Contains k -> (state, S.mem k state)
+
+  let check_history history =
+    check ~init:S.empty ~apply ~equal_res:Bool.equal history
+end

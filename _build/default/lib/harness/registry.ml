@@ -1,0 +1,84 @@
+(** All scheme and data-structure instantiations over the simulated
+    runtime, addressable by name — the cross product the figures sweep. *)
+
+module Sim = Smr_runtime.Sim_runtime
+
+module type SMR = Smr.Smr_intf.SMR
+module type CONC_SET = Smr_ds.Ds_intf.CONC_SET
+
+module Leaky = Smr.Leaky.Make (Sim)
+module Ebr = Smr.Ebr.Make (Sim)
+module Hp = Smr.Hp.Make (Sim)
+module He = Smr.He.Make (Sim)
+module Ibr = Smr.Ibr.Make (Sim)
+module Hyaline = Hyaline_core.Hyaline.Make (Sim)
+module Hyaline_llsc = Hyaline_core.Hyaline.Make_llsc (Sim)
+module Hyaline1 = Hyaline_core.Hyaline1.Make (Sim)
+module Hyaline_s = Hyaline_core.Hyaline_s.Make (Sim)
+module Hyaline_s_llsc = Hyaline_core.Hyaline_s.Make_llsc (Sim)
+module Hyaline1s = Hyaline_core.Hyaline1s.Make (Sim)
+
+(** The "architecture" selects the head implementation for the Hyaline
+    family: [X86] uses double-width CAS, [Ppc] the Fig. 7 LL/SC model —
+    that substitution is how the PowerPC figures (13–16) are reproduced. *)
+type arch = X86 | Ppc
+
+let hyaline_family arch : (string * (module SMR)) list =
+  match arch with
+  | X86 ->
+      [
+        ("Hyaline", (module Hyaline));
+        ("Hyaline-1", (module Hyaline1));
+        ("Hyaline-S", (module Hyaline_s));
+        ("Hyaline-1S", (module Hyaline1s));
+      ]
+  | Ppc ->
+      [
+        ("Hyaline", (module Hyaline_llsc));
+        ("Hyaline-1", (module Hyaline1));
+        ("Hyaline-S", (module Hyaline_s_llsc));
+        ("Hyaline-1S", (module Hyaline1s));
+      ]
+
+let baselines : (string * (module SMR)) list =
+  [
+    ("Leaky", (module Leaky));
+    ("Epoch", (module Ebr));
+    ("IBR", (module Ibr));
+    ("HE", (module He));
+    ("HP", (module Hp));
+  ]
+
+(* Scheme sets as plotted in the paper's figures. *)
+let all_schemes arch = baselines @ hyaline_family arch
+
+(* Bonsai excludes HP and HE: per-pointer hazards cannot protect a
+   snapshot traversal (§6, Fig. 8b). *)
+let bonsai_schemes arch =
+  List.filter (fun (n, _) -> n <> "HP" && n <> "HE") (all_schemes arch)
+
+type ds = Hm_list | Hashmap | Nm_tree | Bonsai
+
+let ds_name = function
+  | Hm_list -> "Harris & Michael list"
+  | Hashmap -> "Michael hash map"
+  | Nm_tree -> "Natarajan & Mittal tree"
+  | Bonsai -> "Bonsai tree"
+
+let make_set ds (module S : SMR) : (module CONC_SET) =
+  match ds with
+  | Hm_list ->
+      let module D = Smr_ds.Harris_michael_list.Make (S) in
+      (module D)
+  | Hashmap ->
+      let module D = Smr_ds.Michael_hashmap.Make (S) in
+      (module D)
+  | Nm_tree ->
+      let module D = Smr_ds.Natarajan_mittal_tree.Make (S) in
+      (module D)
+  | Bonsai ->
+      let module D = Smr_ds.Bonsai_tree.Make (S) in
+      (module D)
+
+let schemes_for ds arch =
+  match ds with Bonsai -> bonsai_schemes arch | _ -> all_schemes arch

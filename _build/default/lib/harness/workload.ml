@@ -1,0 +1,139 @@
+(** The §6 workload: prefill a set, then have N logical threads hammer it
+    with a read/insert/delete mix over a uniform key range, measuring
+    throughput (operations per simulated cost unit) and the paper's
+    Fig. 9/10 metric — the average number of retired-but-unreclaimed
+    objects sampled at every operation.
+
+    Everything runs on the deterministic scheduler, so a (spec, seed) pair
+    is exactly reproducible. *)
+
+module Sched = Smr_runtime.Scheduler
+
+type mix = { read_pct : int  (** gets; the rest splits 50/50 insert/delete *) }
+
+let write_heavy = { read_pct = 0 }
+let read_mostly = { read_pct = 90 }
+
+type spec = {
+  threads : int;
+  stalled : int;  (** extra threads that enter and stall forever (Fig. 10a) *)
+  key_range : int;
+  prefill : int;
+  mix : mix;
+  budget : int;  (** simulated cost units for the measured phase *)
+  seed : int;
+  cfg : Smr.Smr_intf.config;
+  use_trim : bool;
+      (** keep one guard per thread and [refresh] between operations
+          (Hyaline trims; baselines leave+enter) — Fig. 10b *)
+  buckets : int;  (** hash-map buckets; ignored by the other structures *)
+  op_body : int;
+      (** fixed per-operation cost charged for the work the cell-level
+          model does not see — hashing, key comparisons, allocator work.
+          Identical across schemes, so it only sets the ratio of useful
+          work to SMR overhead (near zero for the list, whose long
+          traversal is already fully charged). *)
+}
+
+let default_spec =
+  {
+    threads = 4;
+    stalled = 0;
+    key_range = 4096;
+    prefill = 2048;
+    mix = write_heavy;
+    budget = 100_000;
+    seed = 42;
+    cfg = Smr.Smr_intf.default_config;
+    use_trim = false;
+    buckets = 4096;
+    op_body = 0;
+  }
+
+type result = {
+  ops : int;
+  steps : int;  (** cost units consumed by the measured phase *)
+  throughput : float;  (** operations per 1000 cost units *)
+  avg_unreclaimed : float;  (** mean over per-op samples of retired-freed *)
+  final : Smr.Smr_intf.stats;
+}
+
+let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
+  let set = D.create ~buckets:spec.buckets spec.cfg in
+  let sched = Sched.create ~seed:spec.seed () in
+  (* Phase 1: prefill from a single simulated thread (tid 0, reused by
+     worker 0 afterwards — it holds no guard across the phases). *)
+  ignore
+    (Sched.spawn sched (fun () ->
+         let rng = Random.State.make [| spec.seed; 0xf111 |] in
+         let filled = ref 0 in
+         while !filled < spec.prefill do
+           if D.insert set (Random.State.int rng spec.key_range) then
+             incr filled
+         done));
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | Sched.Budget_exhausted | Sched.Only_stalled ->
+      invalid_arg "Workload.run: prefill did not finish");
+  let steps0 = Sched.now sched in
+  let ops = Array.make spec.threads 0 in
+  let unreclaimed_sum = ref 0.0 in
+  let samples = ref 0 in
+  let one_op rng g =
+    if spec.op_body > 0 then Sched.step spec.op_body;
+    let key = Random.State.int rng spec.key_range in
+    let dice = Random.State.int rng 100 in
+    (if dice < spec.mix.read_pct then ignore (D.contains_with set g key)
+     else if dice land 1 = 0 then ignore (D.insert_with set g key)
+     else ignore (D.remove_with set g key));
+    let s = D.stats set in
+    unreclaimed_sum :=
+      !unreclaimed_sum +. float_of_int (Smr.Smr_intf.unreclaimed s);
+    incr samples
+  in
+  let worker tid () =
+    let rng = Random.State.make [| spec.seed; tid |] in
+    if spec.use_trim then begin
+      let g = ref (D.enter set) in
+      while true do
+        one_op rng !g;
+        ops.(tid) <- ops.(tid) + 1;
+        g := D.refresh set !g
+      done
+    end
+    else
+      while true do
+        let g = D.enter set in
+        one_op rng g;
+        D.leave set g;
+        ops.(tid) <- ops.(tid) + 1
+      done
+  in
+  for tid = 0 to spec.threads - 1 do
+    ignore (Sched.spawn sched (worker tid))
+  done;
+  (* Stalled threads: enter (optionally after touching the structure) and
+     park forever while holding the guard. *)
+  for _ = 1 to spec.stalled do
+    ignore
+      (Sched.spawn sched (fun () ->
+           let g = D.enter set in
+           ignore (D.contains_with set g 0);
+           Sched.stall ()))
+  done;
+  (match Sched.run ~budget:spec.budget sched with
+  | Sched.Budget_exhausted | Sched.Only_stalled -> ()
+  | Sched.All_finished -> invalid_arg "Workload.run: workers terminated");
+  let steps = Sched.now sched - steps0 in
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  {
+    ops = total_ops;
+    steps;
+    throughput =
+      (if steps = 0 then 0.0
+       else 1000.0 *. float_of_int total_ops /. float_of_int steps);
+    avg_unreclaimed =
+      (if !samples = 0 then 0.0
+       else !unreclaimed_sum /. float_of_int !samples);
+    final = D.stats set;
+  }

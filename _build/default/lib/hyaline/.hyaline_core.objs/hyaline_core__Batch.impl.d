@@ -1,0 +1,1 @@
+lib/hyaline/batch.ml: Array Smr Smr_runtime Sys

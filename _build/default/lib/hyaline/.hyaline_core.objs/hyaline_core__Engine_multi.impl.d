@@ -1,0 +1,1 @@
+lib/hyaline/engine_multi.ml: Array Batch Head_intf Hyaline_intf List Slot_directory Smr Smr_runtime Stdlib

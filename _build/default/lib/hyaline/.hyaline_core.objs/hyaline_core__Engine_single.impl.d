@@ -1,0 +1,1 @@
+lib/hyaline/engine_single.ml: Array Batch Hyaline_intf List Smr Smr_runtime Stdlib

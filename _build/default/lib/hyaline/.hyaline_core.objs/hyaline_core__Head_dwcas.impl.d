@@ -1,0 +1,1 @@
+lib/hyaline/head_dwcas.ml: Head_intf Smr_runtime

@@ -1,0 +1,1 @@
+lib/hyaline/head_intf.ml: Smr_runtime

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline.ml: Engine_multi Head_dwcas Llsc_head Smr_runtime

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1s.ml: Engine_single Smr_runtime

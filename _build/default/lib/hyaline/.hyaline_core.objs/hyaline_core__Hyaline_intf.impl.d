@@ -1,0 +1,1 @@
+lib/hyaline/hyaline_intf.ml: Smr

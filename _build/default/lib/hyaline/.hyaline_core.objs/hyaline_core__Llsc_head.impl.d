@@ -1,0 +1,1 @@
+lib/hyaline/llsc_head.ml: Head_intf Smr_runtime

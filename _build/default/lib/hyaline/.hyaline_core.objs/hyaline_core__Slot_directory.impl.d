@@ -1,0 +1,1 @@
+lib/hyaline/slot_directory.ml: Array Batch Smr_runtime Sys

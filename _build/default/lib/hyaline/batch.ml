@@ -1,0 +1,97 @@
+(** Batches of retired nodes and the [Adjs] modular arithmetic (§3.2).
+
+    A batch groups [>= k + 1] retired nodes under a single reference
+    counter [NRef]. The paper stores [NRef] in a dedicated node and links
+    every node to it; here the equivalent shared structure is the
+    {!type:batch} record itself (DESIGN.md §2). Per node the scheme keeps
+    three words, as in the paper: the slot-list [next] link, the back
+    pointer to the batch, and the birth era.
+
+    [NRef] accounting uses wraparound arithmetic: with [k] slots
+    (a power of two), [Adjs = 2{^63} / k], so a batch is fully adjusted —
+    i.e. has accumulated [Adjs] from {i every} slot, making [k × Adjs ≡ 0] —
+    before its counter can reach zero. OCaml native ints are 63-bit and
+    modular, so the trick carries over verbatim one bit narrower. *)
+
+let log2 =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  fun n ->
+    if n <= 0 then invalid_arg "Batch.log2";
+    go 0 n
+
+let is_power_of_two k = k > 0 && k land (k - 1) = 0
+
+(** [adjs k] for [k] slots. [k = 1] degenerates to [0] by the same unsigned
+    overflow the paper notes (§3.2). *)
+let adjs k =
+  if not (is_power_of_two k) then invalid_arg "Batch.adjs: k not a power of 2";
+  if k = 1 then 0 else 1 lsl (Sys.int_size - log2 k)
+
+module Make (R : Smr_runtime.Runtime_intf.S) = struct
+  type 'a node = {
+    payload : 'a;
+    state : Smr.Lifecycle.cell;
+    birth : int;  (** birth era (Hyaline-S/1S; 0 otherwise) *)
+    next : 'a node option R.Atomic.t;
+        (** link in the retirement list of the one slot this node joins *)
+    mutable batch : 'a batch option;
+        (** back pointer, set when the node's batch is finalized *)
+  }
+
+  and 'a batch = {
+    nref : int R.Atomic.t;
+    nodes : 'a node array;  (** [nodes.(0)] plays the NRef-node role *)
+    min_birth : int;
+    adjs : int;  (** frozen at retire time — adaptive resizing, §4.3 *)
+  }
+
+  let scheme = "Hyaline"
+
+  let make_node ~counters ~birth payload =
+    {
+      payload;
+      state = Smr.Lifecycle.on_alloc counters;
+      birth;
+      next = R.Atomic.make None;
+      batch = None;
+    }
+
+  let batch_of n =
+    match n.batch with
+    | Some b -> b
+    | None -> invalid_arg "Hyaline: node in a retirement list has no batch"
+
+  (* Finalize a batch from the nodes a thread accumulated locally. [adjs]
+     is precomputed by the caller: [Batch.adjs k] for the multi-slot engine
+     (frozen per batch, §4.3), unused (0) for Hyaline-1. *)
+  let seal ~counters ~k ~adjs nodes =
+    let nodes = Array.of_list nodes in
+    assert (Array.length nodes > k);
+    Smr.Lifecycle.tally_retired counters (Array.length nodes);
+    let min_birth =
+      Array.fold_left (fun acc n -> min acc n.birth) max_int nodes
+    in
+    let b = { nref = R.Atomic.make 0; nodes; min_birth; adjs } in
+    Array.iter (fun n -> n.batch <- Some b) nodes;
+    b
+
+  let same_node a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | None, Some _ | Some _, None -> false
+
+  let free_batch ~counters b =
+    Array.iter
+      (fun n -> Smr.Lifecycle.on_free ~scheme n.state counters)
+      b.nodes
+
+  (* adjust (Fig. 3 lines 41-43): add [v] to the batch's NRef; the counter
+     crossing zero means the batch is fully adjusted and unreferenced. *)
+  let adjust ~counters node v =
+    match node with
+    | None -> ()
+    | Some n ->
+        let b = batch_of n in
+        if R.Atomic.fetch_and_add b.nref v = -v then free_batch ~counters b
+end

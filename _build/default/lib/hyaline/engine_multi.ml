@@ -1,0 +1,305 @@
+(** The general multi-slot Hyaline engine (Fig. 3), generic over the head
+    implementation (dwCAS or LL/SC) and over the flavour (plain §3.2 or
+    robust "-S" §4.2 with birth eras, per-slot access eras, acks and
+    optional adaptive slot resizing §4.3).
+
+    Instantiated as [Hyaline], [Hyaline_s] and their LL/SC twins in
+    {!Variants}. *)
+
+(* Shared head-tuple record type. *)
+open Head_intf
+
+module Make
+    (R : Smr_runtime.Runtime_intf.S)
+    (H : Head_intf.HEAD_OPS with module R = R)
+    (F : Hyaline_intf.FLAVOR) =
+struct
+  let scheme_name = F.scheme_name
+  let robust = F.robust
+
+  module R = R
+  module B = Batch.Make (R)
+  module Dir = Slot_directory.Make (R)
+
+  type 'a node = 'a B.node
+
+  type 'a slot = {
+    head : 'a B.node H.t;
+    access : int R.Atomic.t;  (* per-slot access era (Fig. 5) *)
+    ack : int R.Atomic.t;  (* stalled-slot detector (Fig. 5) *)
+  }
+
+  type 'a pending = { mutable nodes : 'a B.node list; mutable len : int }
+
+  type 'a t = {
+    cfg : Smr.Smr_intf.config;
+    counters : Smr.Lifecycle.counters;
+    dir : 'a slot Dir.t;
+    era : int R.Atomic.t;  (* AllocEra *)
+    alloc_clock : int Stdlib.Atomic.t;
+    pending : 'a pending array;  (* per-thread batch under construction *)
+  }
+
+  type 'a guard = {
+    tid : int;
+    slot : 'a slot;
+    slot_idx : int;
+    handle : 'a B.node option;
+  }
+
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (2 * p) in
+    go 1
+
+  let make_slot _ =
+    { head = H.make (); access = R.Atomic.make 0; ack = R.Atomic.make 0 }
+
+  let create (cfg : Smr.Smr_intf.config) =
+    {
+      cfg;
+      counters = Smr.Lifecycle.make_counters ();
+      dir = Dir.create ~kmin:(next_pow2 cfg.slots) ~make_slot;
+      era = R.Atomic.make 0;
+      alloc_clock = Stdlib.Atomic.make 0;
+      pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
+    }
+
+  let current_slots t = Dir.k t.dir
+
+  let alloc t payload =
+    let birth =
+      if F.robust then begin
+        (* Fig. 5 init_node; the allocation counter is global rather than
+           per-thread — only the bump frequency matters (cf. Ebr). *)
+        let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+        if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+        R.Atomic.get t.era
+      end
+      else 0
+    in
+    B.make_node ~counters:t.counters ~birth payload
+
+  let data (n : 'a node) =
+    Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
+    n.payload
+
+  (* Fig. 5 enter: probe for a slot not poisoned by stalled threads; when
+     all k slots are saturated either grow the directory (§4.3) or fall
+     back to the starting slot (the capped behaviour of Fig. 10a). *)
+  let choose_slot t tid =
+    let k = Dir.k t.dir in
+    let start = tid mod k in
+    if not F.robust then start
+    else begin
+      let rec probe i tried k =
+        let s = Dir.get t.dir i in
+        if R.Atomic.get s.ack < t.cfg.ack_threshold then i
+        else if tried + 1 < k then probe ((i + 1) mod k) (tried + 1) k
+        else if t.cfg.adaptive then begin
+          Dir.grow t.dir ~from:k;
+          let k' = Dir.k t.dir in
+          if k' > k then probe k 0 k' else start
+        end
+        else start
+      in
+      probe start 0 k
+    end
+
+  let enter t =
+    let tid = R.self () in
+    let slot_idx = choose_slot t tid in
+    let slot = Dir.get t.dir slot_idx in
+    let seen = H.enter_faa slot.head in
+    { tid; slot; slot_idx; handle = seen.hptr }
+
+  (* Fig. 3 traverse, plus the Fig. 5 ack decrement for the robust flavour.
+     Decrements every node from [first] through [handle] inclusive; batches
+     whose NRef reaches zero are freed afterwards, in FIFO order (§4.1's
+     deferred deallocation). *)
+  let traverse t slot first handle =
+    let to_free = ref [] in
+    let count = ref 0 in
+    (* Ack debits must equal the credits this thread accumulated (+1 per
+       batch inserted during its presence, Fig. 5 line 16). The current
+       first node is decremented through the HRef CAS, never visited here,
+       so its debit is carried by the handle node when the traversal ends
+       there — and by the list end when it runs off a Null instead (the
+       thread entered on an empty or since-detached list). Counting visited
+       nodes plus one for a Null terminator makes every slot's Ack sum to
+       exactly the unacknowledged references of its stalled occupants. *)
+    let hit_null = ref false in
+    let rec go curr =
+      match curr with
+      | None -> hit_null := true
+      | Some n ->
+          incr count;
+          Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
+            n.B.state;
+          let next = R.Atomic.get n.B.next in
+          let b = B.batch_of n in
+          if R.Atomic.fetch_and_add b.nref (-1) = 1 then
+            to_free := b :: !to_free;
+          if not (B.same_node curr handle) then go next
+    in
+    go first;
+    if !hit_null then incr count;
+    if F.robust && !count > 0 then
+      ignore (R.Atomic.fetch_and_add slot.ack (- !count));
+    List.iter (B.free_batch ~counters:t.counters) (List.rev !to_free)
+
+  (* Fig. 3 leave. *)
+  let leave t g =
+    let slot = g.slot in
+    let rec attempt () =
+      let seen = H.load slot.head in
+      let curr = seen.hptr in
+      let fresh = not (B.same_node curr g.handle) in
+      let next =
+        if fresh then
+          match curr with Some n -> R.Atomic.get n.B.next | None -> None
+        else None
+      in
+      match H.try_leave slot.head ~seen with
+      | `Fail -> attempt ()
+      | `Left detached ->
+          (* The last thread detached the list: treat the ex-first node as a
+             predecessor and grant it its slot's Adjs (Fig. 3 lines 16-17,
+             with the per-batch Adjs of §4.3). *)
+          (if detached then
+             match curr with
+             | Some n ->
+                 B.adjust ~counters:t.counters curr (B.batch_of n).adjs
+             | None -> ());
+          if fresh then traverse t slot next g.handle
+    in
+    attempt ()
+
+  (* Fig. 3 trim: dereference everything retired since the handle without
+     altering Head; the current first node becomes the new handle. *)
+  let trim t g =
+    let seen = H.load g.slot.head in
+    let curr = seen.hptr in
+    if not (B.same_node curr g.handle) then begin
+      let next =
+        match curr with Some n -> R.Atomic.get n.B.next | None -> None
+      in
+      traverse t g.slot next g.handle
+    end;
+    { g with handle = curr }
+
+  (* Fig. 5 touch: raise the slot's access era to at least [era]. *)
+  let touch slot era =
+    let rec go () =
+      let a = R.Atomic.get slot.access in
+      if a >= era then a
+      else if R.Atomic.compare_and_set slot.access a era then era
+      else go ()
+    in
+    go ()
+
+  (* Fig. 5 deref for the robust flavour; a plain read otherwise (basic
+     Hyaline needs no per-access work at all, §3). *)
+  let protect t g ~idx:_ ~read ~target:_ =
+    if not F.robust then read ()
+    else begin
+      let slot = g.slot in
+      let rec attempt access =
+        let v = read () in
+        let alloc = R.Atomic.get t.era in
+        if access >= alloc then v else attempt (touch slot alloc)
+      in
+      attempt (R.Atomic.get slot.access)
+    end
+
+  (* Fig. 3 retire (batch insertion into every active slot), with the
+     Fig. 5 REF #1# stale-era skip and ack bump for the robust flavour. *)
+  let retire_batch t ~k (b : 'a B.batch) =
+    let cursor = ref 1 in
+    let empty = ref 0 in
+    let skipped_any = ref false in
+    for i = 0 to k - 1 do
+      let slot = Dir.get t.dir i in
+      let rec attempt () =
+        let seen = H.load slot.head in
+        let skip =
+          seen.href = 0
+          || (F.robust && R.Atomic.get slot.access < b.min_birth)
+        in
+        if skip then begin
+          skipped_any := true;
+          empty := !empty + b.adjs
+        end
+        else begin
+          let node = b.nodes.(!cursor) in
+          R.Atomic.set_plain node.B.next seen.hptr;
+          if H.try_insert slot.head ~seen ~first:node then begin
+            incr cursor;
+            if F.robust then
+              ignore (R.Atomic.fetch_and_add slot.ack seen.href);
+            (* REF #2#: adjust the predecessor with its own batch's Adjs
+               plus the HRef snapshot. *)
+            match seen.hptr with
+            | Some pred ->
+                B.adjust ~counters:t.counters seen.hptr
+                  ((B.batch_of pred).adjs + seen.href)
+            | None -> ()
+          end
+          else attempt ()
+        end
+      in
+      attempt ()
+    done;
+    (* REF #3#: account for the empty slots on the batch itself. Note that
+       when every slot was empty, [empty = k × Adjs ≡ 0] and the FAA frees
+       the batch immediately — no thread can reference it. *)
+    if !skipped_any then
+      B.adjust ~counters:t.counters (Some b.nodes.(0)) !empty
+
+  let retire t g n =
+    Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
+      t.counters;
+    let p = t.pending.(g.tid) in
+    p.nodes <- n :: p.nodes;
+    p.len <- p.len + 1;
+    let k = Dir.k t.dir in
+    if p.len >= max t.cfg.batch_size (k + 1) then begin
+      let nodes = p.nodes in
+      p.nodes <- [];
+      p.len <- 0;
+      retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
+    end
+
+  (* Finalize partial batches by padding with dummy nodes (§2.4: "they can
+     be immediately finalized by allocating a finite number of dummy
+     nodes"). Dummies run through the normal lifecycle so the books stay
+     balanced. Only sound at quiescence. *)
+  let flush t =
+    let k = Dir.k t.dir in
+    let needed = max t.cfg.batch_size (k + 1) in
+    for tid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(tid) in
+      if p.len > 0 then begin
+        let sample =
+          match p.nodes with
+          | n :: _ -> n.B.payload
+          | [] -> assert false
+        in
+        while p.len < needed do
+          let d = alloc t sample in
+          Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name
+            d.B.state t.counters;
+          p.nodes <- d :: p.nodes;
+          p.len <- p.len + 1
+        done;
+        let nodes = p.nodes in
+        p.nodes <- [];
+        p.len <- 0;
+        retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
+      end
+    done
+
+  (* Hyaline realises refresh as trim (�3.3). *)
+  let refresh = trim
+
+  let stats t = Smr.Lifecycle.stats t.counters
+end

@@ -1,0 +1,200 @@
+(** The Hyaline-1 engine (Fig. 4): one dedicated slot per thread, so [HRef]
+    degenerates to a single "active" bit merged with the pointer — a plain
+    single-width CAS word. [enter] and [leave] become wait-free (a store and
+    a swap), predecessors are never adjusted, and a batch's NRef is simply
+    the number of slots it was inserted into.
+
+    The robust flavour (Hyaline-1S) adds birth eras exactly as in Fig. 5,
+    with [touch] reduced to an ordinary write thanks to the 1:1
+    thread-to-slot mapping. Fully robust without resizing, since a stalled
+    thread only ever poisons its own slot. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) (F : Hyaline_intf.FLAVOR) =
+struct
+  let scheme_name = F.scheme_name
+  let robust = F.robust
+
+  module R = R
+  module B = Batch.Make (R)
+
+  type 'a node = 'a B.node
+
+  (* The single-word head: an "active" bit squeezed next to the pointer. *)
+  type 'a word = { active : bool; hptr : 'a B.node option }
+
+  type 'a slot = { head : 'a word R.Atomic.t; access : int R.Atomic.t }
+  type 'a pending = { mutable nodes : 'a B.node list; mutable len : int }
+
+  type 'a t = {
+    cfg : Smr.Smr_intf.config;
+    counters : Smr.Lifecycle.counters;
+    slots : 'a slot array;  (* one per thread; k = max_threads *)
+    era : int R.Atomic.t;
+    alloc_clock : int Stdlib.Atomic.t;
+    pending : 'a pending array;
+  }
+
+  type 'a guard = { tid : int; handle : 'a B.node option }
+
+  let idle = { active = false; hptr = None }
+
+  let create (cfg : Smr.Smr_intf.config) =
+    {
+      cfg;
+      counters = Smr.Lifecycle.make_counters ();
+      slots =
+        Array.init cfg.max_threads (fun _ ->
+            { head = R.Atomic.make idle; access = R.Atomic.make 0 });
+      era = R.Atomic.make 0;
+      alloc_clock = Stdlib.Atomic.make 0;
+      pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
+    }
+
+  let current_slots t = Array.length t.slots
+
+  let alloc t payload =
+    let birth =
+      if F.robust then begin
+        let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+        if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+        R.Atomic.get t.era
+      end
+      else 0
+    in
+    B.make_node ~counters:t.counters ~birth payload
+
+  let data (n : 'a node) =
+    Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
+    n.payload
+
+  (* Fig. 4 enter: a wait-free store. The slot necessarily reads
+     [{false, None}] here — the previous leave swapped it out. *)
+  let enter t =
+    let tid = R.self () in
+    R.Atomic.set t.slots.(tid).head { active = true; hptr = None };
+    { tid; handle = None }
+
+  (* Decrement every batch in the detached list once (this thread owned the
+     only reference this slot contributed); free on zero, FIFO-deferred. *)
+  let traverse t first handle =
+    let to_free = ref [] in
+    let rec go curr =
+      match curr with
+      | None -> ()
+      | Some n ->
+          Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
+            n.B.state;
+          let next = R.Atomic.get n.B.next in
+          let b = B.batch_of n in
+          if R.Atomic.fetch_and_add b.nref (-1) = 1 then
+            to_free := b :: !to_free;
+          if not (B.same_node curr handle) then go next
+    in
+    go first;
+    List.iter (B.free_batch ~counters:t.counters) (List.rev !to_free)
+
+  (* Fig. 4 leave: a wait-free swap detaching the whole list. *)
+  let leave t g =
+    let old = R.Atomic.exchange t.slots.(g.tid).head idle in
+    if old.hptr <> None then traverse t old.hptr g.handle
+
+  (* leave + enter fused, keeping the active bit set throughout. *)
+  let trim t g =
+    let slot = t.slots.(g.tid) in
+    let old = R.Atomic.exchange slot.head { active = true; hptr = None } in
+    assert old.active;
+    if old.hptr <> None then traverse t old.hptr g.handle;
+    g
+
+  (* Fig. 5 deref; touch is an ordinary write (1:1 thread-to-slot). *)
+  let protect t g ~idx:_ ~read ~target:_ =
+    if not F.robust then read ()
+    else begin
+      let slot = t.slots.(g.tid) in
+      let rec attempt access =
+        let v = read () in
+        let alloc = R.Atomic.get t.era in
+        if access >= alloc then v
+        else begin
+          R.Atomic.set slot.access alloc;
+          attempt alloc
+        end
+      in
+      attempt (R.Atomic.get slot.access)
+    end
+
+  (* Fig. 4 retire: count the slots the batch lands in, then adjust NRef by
+     that count (no Adjs constants, no predecessor adjustment). *)
+  let retire_batch t (b : 'a B.batch) =
+    let cursor = ref 1 in
+    let inserts = ref 0 in
+    for i = 0 to Array.length t.slots - 1 do
+      let slot = t.slots.(i) in
+      let rec attempt () =
+        let seen = R.Atomic.get slot.head in
+        let skip =
+          (not seen.active)
+          || (F.robust && R.Atomic.get slot.access < b.min_birth)
+        in
+        if not skip then begin
+          let node = b.nodes.(!cursor) in
+          R.Atomic.set node.B.next seen.hptr;
+          if
+            R.Atomic.compare_and_set slot.head seen
+              { active = true; hptr = Some node }
+          then begin
+            incr cursor;
+            incr inserts
+          end
+          else attempt ()
+        end
+      in
+      attempt ()
+    done;
+    (* When [inserts = 0] no slot was active and the FAA finds NRef at 0,
+       freeing the batch on the spot. *)
+    if R.Atomic.fetch_and_add b.nref !inserts = - !inserts then
+      B.free_batch ~counters:t.counters b
+
+  let effective_batch t = max t.cfg.batch_size (Array.length t.slots + 1)
+
+  let retire t g n =
+    Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
+      t.counters;
+    let p = t.pending.(g.tid) in
+    p.nodes <- n :: p.nodes;
+    p.len <- p.len + 1;
+    if p.len >= effective_batch t then begin
+      let nodes = p.nodes in
+      p.nodes <- [];
+      p.len <- 0;
+      retire_batch t (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
+    end
+
+  let flush t =
+    let needed = effective_batch t in
+    for tid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(tid) in
+      if p.len > 0 then begin
+        let sample =
+          match p.nodes with n :: _ -> n.B.payload | [] -> assert false
+        in
+        while p.len < needed do
+          let d = alloc t sample in
+          Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name
+            d.B.state t.counters;
+          p.nodes <- d :: p.nodes;
+          p.len <- p.len + 1
+        done;
+        let nodes = p.nodes in
+        p.nodes <- [];
+        p.len <- 0;
+        retire_batch t (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
+      end
+    done
+
+  (* Hyaline realises refresh as trim (§3.3). *)
+  let refresh = trim
+
+  let stats t = Smr.Lifecycle.stats t.counters
+end

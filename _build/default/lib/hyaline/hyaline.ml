@@ -1,0 +1,17 @@
+(** Hyaline — the general multi-slot algorithm (§3.2, Fig. 3), over
+    double-width CAS or, for the PowerPC experiments, single-width LL/SC
+    (§4.4). Fast, fully transparent, ≈O(1) reclamation; not robust. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) =
+  Engine_multi.Make (R) (Head_dwcas.Make (R))
+    (struct
+      let scheme_name = "Hyaline"
+      let robust = false
+    end)
+
+module Make_llsc (R : Smr_runtime.Runtime_intf.S) =
+  Engine_multi.Make (R) (Llsc_head.Make (R))
+    (struct
+      let scheme_name = "Hyaline"
+      let robust = false
+    end)

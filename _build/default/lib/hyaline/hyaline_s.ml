@@ -1,0 +1,18 @@
+(** Hyaline-S — the robust extension (§4.2, Fig. 5): birth eras, per-slot
+    access eras, acks for stalled-slot avoidance, and (with
+    [config.adaptive]) the §4.3 slot directory that doubles [k] whenever
+    every slot is poisoned by stalled threads, restoring full robustness. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) =
+  Engine_multi.Make (R) (Head_dwcas.Make (R))
+    (struct
+      let scheme_name = "Hyaline-S"
+      let robust = true
+    end)
+
+module Make_llsc (R : Smr_runtime.Runtime_intf.S) =
+  Engine_multi.Make (R) (Llsc_head.Make (R))
+    (struct
+      let scheme_name = "Hyaline-S"
+      let robust = true
+    end)

@@ -1,0 +1,1 @@
+lib/runtime/explore.ml: List Printexc Scheduler

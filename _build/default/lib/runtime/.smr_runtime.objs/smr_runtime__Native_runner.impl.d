@@ -1,0 +1,1 @@
+lib/runtime/native_runner.ml: Array Domain Native_runtime

@@ -1,0 +1,1 @@
+lib/runtime/native_runtime.ml: Domain Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Array Effect Fun Random

@@ -1,0 +1,1 @@
+lib/runtime/sim_runtime.ml: Scheduler Sim_cell

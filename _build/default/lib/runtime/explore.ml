@@ -1,0 +1,82 @@
+type outcome =
+  | Exhausted of int
+  | Limit_reached of int
+  | Violation of { schedule : int list; message : string }
+
+(* One run under a forced schedule: follow [prefix]; once exhausted,
+   always pick index 0. Records the decision made and the width of the
+   runnable set at each step, which is exactly what DFS backtracking
+   needs. *)
+let run_one program prefix ~max_steps =
+  let threads, post = program () in
+  let sched = Scheduler.create () in
+  List.iter (fun f -> ignore (Scheduler.spawn sched f)) threads;
+  let trace = ref [] in
+  (* (choice, width), reversed *)
+  let steps = ref 0 in
+  let remaining = ref prefix in
+  Scheduler.set_picker sched
+    (Some
+       (fun width ->
+         incr steps;
+         if !steps > max_steps then
+           failwith "Explore: schedule exceeded max_steps";
+         let choice =
+           match !remaining with
+           | c :: rest ->
+               remaining := rest;
+               if c >= width then
+                 failwith "Explore: stale schedule (width shrank)"
+               else c
+           | [] -> 0
+         in
+         trace := (choice, width) :: !trace;
+         choice));
+  let result =
+    match Scheduler.run sched with
+    | Scheduler.All_finished ->
+        if post () then Ok () else Error "post-condition failed"
+    | Scheduler.Only_stalled -> Error "deadlock: only stalled threads remain"
+    | Scheduler.Budget_exhausted -> assert false
+  in
+  (result, List.rev !trace)
+
+(* Next prefix in DFS order: deepest position whose choice can still be
+   incremented within its recorded width. *)
+let next_prefix trace =
+  let rec cut = function
+    | [] -> None
+    | (choice, width) :: earlier ->
+        if choice + 1 < width then Some (List.rev ((choice + 1, width) :: earlier))
+        else cut earlier
+  in
+  match cut (List.rev trace) with
+  | None -> None
+  | Some with_widths -> Some (List.map fst with_widths)
+
+let check ?(limit = 10_000) ?(max_steps = 100_000) program =
+  let rec dfs prefix explored =
+    if explored >= limit then Limit_reached explored
+    else begin
+      match run_one program prefix ~max_steps with
+      | Ok (), trace -> (
+          match next_prefix trace with
+          | None -> Exhausted (explored + 1)
+          | Some prefix' -> dfs prefix' (explored + 1))
+      | Error message, trace ->
+          Violation { schedule = List.map fst trace; message }
+      | exception e ->
+          (* The run died mid-schedule (auditor exception, assertion...);
+             the partial trace is not recoverable from here, so report the
+             prefix we forced — replaying it deterministically reproduces
+             the failure because the suffix is all zeros. *)
+          Violation { schedule = prefix; message = Printexc.to_string e }
+    end
+  in
+  dfs [] 0
+
+let replay program schedule =
+  match run_one program schedule ~max_steps:max_int with
+  | Ok (), _ -> true
+  | Error _, _ -> false
+  | exception _ -> false

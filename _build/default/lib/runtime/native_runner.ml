@@ -1,0 +1,21 @@
+(** Spawn [n] domains running [f tid] and join them all.
+
+    The container has few cores, so callers keep [n] small (tests use at
+    most 8); the OS still preempts domains, so interleavings are real. *)
+
+let run ~threads f =
+  assert (threads > 0);
+  let body tid () =
+    Native_runtime.set_self tid;
+    f tid
+  in
+  let domains = Array.init threads (fun tid -> Domain.spawn (body tid)) in
+  Array.iter Domain.join domains
+
+(** [run_collect ~threads f] is {!run} but gathers each thread's result. *)
+let run_collect ~threads f =
+  let results = Array.make threads None in
+  run ~threads (fun tid -> results.(tid) <- Some (f tid));
+  Array.map
+    (function Some r -> r | None -> invalid_arg "run_collect: missing result")
+    results

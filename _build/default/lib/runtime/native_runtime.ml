@@ -1,0 +1,26 @@
+(** Native runtime: [Stdlib.Atomic] cells and [Domain]-local thread ids.
+
+    Used for true-parallelism stress tests and Bechamel micro-benchmarks.
+    Thread ids are stored in domain-local state and assigned by
+    {!Native_runner.run}. *)
+
+let name = "native"
+
+module Atomic = struct
+  type 'a t = 'a Stdlib.Atomic.t
+
+  let make = Stdlib.Atomic.make
+  let get = Stdlib.Atomic.get
+  let set = Stdlib.Atomic.set
+  let set_plain = Stdlib.Atomic.set
+  let exchange = Stdlib.Atomic.exchange
+  let compare_and_set = Stdlib.Atomic.compare_and_set
+  let fetch_and_add = Stdlib.Atomic.fetch_and_add
+  let incr = Stdlib.Atomic.incr
+  let decr = Stdlib.Atomic.decr
+end
+
+let tid_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let set_self tid = Domain.DLS.get tid_key := tid
+let self () = !(Domain.DLS.get tid_key)
+let yield () = Domain.cpu_relax ()

@@ -1,0 +1,177 @@
+type _ Effect.t += Step : int -> unit Effect.t
+type _ Effect.t += Stall : unit Effect.t
+
+type status =
+  | Not_started of (unit -> unit)
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Stalled_at of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type thread = {
+  tid : int;
+  mutable status : status;
+  mutable run_pos : int;  (* index in [runnable], or -1 *)
+}
+
+type outcome = All_finished | Budget_exhausted | Only_stalled
+
+type t = {
+  rng : Random.State.t;
+  mutable threads : thread array;
+  mutable count : int;  (* used prefix of [threads] *)
+  mutable live : int;  (* not Finished *)
+  mutable runnable : thread array;  (* dense set, O(1) pick/add/remove *)
+  mutable runnable_count : int;
+  mutable clock : int;
+  mutable current : int;  (* tid while resuming, -1 otherwise *)
+  mutable pick_fn : (int -> int) option;
+      (* when set, [pick_fn width] chooses the runnable index instead of
+         the RNG — the hook the exhaustive explorer drives *)
+}
+
+(* The scheduler running on this domain, if any. Scheduling is
+   single-domain by construction, so a plain ref is safe. *)
+let active : t option ref = ref None
+
+let dummy_thread = { tid = -1; status = Finished; run_pos = -1 }
+
+let create ?(seed = 42) () =
+  {
+    rng = Random.State.make [| seed |];
+    threads = [||];
+    count = 0;
+    live = 0;
+    runnable = [||];
+    runnable_count = 0;
+    clock = 0;
+    current = -1;
+    pick_fn = None;
+  }
+
+let push_runnable t th =
+  if t.runnable_count = Array.length t.runnable then begin
+    let cap = max 8 (2 * t.runnable_count) in
+    let grown = Array.make cap dummy_thread in
+    Array.blit t.runnable 0 grown 0 t.runnable_count;
+    t.runnable <- grown
+  end;
+  t.runnable.(t.runnable_count) <- th;
+  th.run_pos <- t.runnable_count;
+  t.runnable_count <- t.runnable_count + 1
+
+let drop_runnable t th =
+  let pos = th.run_pos in
+  assert (pos >= 0);
+  let last = t.runnable_count - 1 in
+  let moved = t.runnable.(last) in
+  t.runnable.(pos) <- moved;
+  moved.run_pos <- pos;
+  t.runnable.(last) <- dummy_thread;
+  t.runnable_count <- last;
+  th.run_pos <- -1
+
+let spawn t f =
+  let tid = t.count in
+  if tid = Array.length t.threads then begin
+    let cap = max 8 (2 * tid) in
+    let grown = Array.make cap dummy_thread in
+    Array.blit t.threads 0 grown 0 tid;
+    t.threads <- grown
+  end;
+  let th = { tid; status = Not_started f; run_pos = -1 } in
+  t.threads.(tid) <- th;
+  t.count <- t.count + 1;
+  t.live <- t.live + 1;
+  push_runnable t th;
+  tid
+
+let self () =
+  match !active with
+  | Some t when t.current >= 0 -> t.current
+  | Some _ | None -> invalid_arg "Scheduler.self: no thread is running"
+
+let inside () = match !active with Some t -> t.current >= 0 | None -> false
+
+let step cost = if inside () then Effect.perform (Step cost)
+
+let stall () =
+  if inside () then Effect.perform Stall
+  else invalid_arg "Scheduler.stall: no thread is running"
+
+let unstall t tid =
+  if tid < 0 || tid >= t.count then invalid_arg "Scheduler.unstall: bad tid";
+  let th = t.threads.(tid) in
+  match th.status with
+  | Stalled_at k ->
+      th.status <- Paused k;
+      push_runnable t th
+  | Not_started _ | Paused _ | Finished -> ()
+
+let live_threads t = t.live
+let now t = t.clock
+
+(* Run one thread until its next yield point, completion, or stall. The
+   deep handler stays installed for the whole fiber, so resuming a paused
+   continuation re-enters it on the next effect. *)
+let resume t th =
+  t.current <- th.tid;
+  let on_effect : type a.
+      a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+    function
+    | Step cost ->
+        Some
+          (fun k ->
+            t.clock <- t.clock + cost;
+            th.status <- Paused k)
+    | Stall ->
+        Some
+          (fun k ->
+            th.status <- Stalled_at k;
+            drop_runnable t th)
+    | _ -> None
+  in
+  let handler =
+    { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc = on_effect }
+  in
+  (match th.status with
+  | Not_started f ->
+      th.status <- Finished;
+      (* provisional; overwritten if the fiber pauses or stalls *)
+      Effect.Deep.match_with f () handler
+  | Paused k ->
+      th.status <- Finished;
+      Effect.Deep.continue k ()
+  | Stalled_at _ | Finished -> assert false);
+  (match th.status with
+  | Finished ->
+      t.live <- t.live - 1;
+      if th.run_pos >= 0 then drop_runnable t th
+  | Not_started _ | Paused _ | Stalled_at _ -> ());
+  t.current <- -1
+
+let run ?(budget = max_int) t =
+  let previous = !active in
+  active := Some t;
+  let deadline = if budget = max_int then max_int else t.clock + budget in
+  let rec loop () =
+    if t.live = 0 then All_finished
+    else if t.clock >= deadline then Budget_exhausted
+    else if t.runnable_count = 0 then Only_stalled
+    else begin
+      let index =
+        match t.pick_fn with
+        | Some f ->
+            let i = f t.runnable_count in
+            if i < 0 || i >= t.runnable_count then
+              invalid_arg "Scheduler: pick_fn out of range"
+            else i
+        | None -> Random.State.int t.rng t.runnable_count
+      in
+      let th = t.runnable.(index) in
+      resume t th;
+      loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> active := previous) loop
+
+let set_picker t f = t.pick_fn <- f

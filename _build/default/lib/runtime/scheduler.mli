@@ -1,0 +1,62 @@
+(** Deterministic cooperative scheduler for simulated lock-free execution.
+
+    Logical threads are OCaml-5 effect-based fibers multiplexed on the
+    calling domain. Every shared-memory operation performed through
+    {!Sim_cell} (and hence {!Sim_runtime.Atomic}) yields to the scheduler
+    with a cost in abstract time units; the scheduler then picks the next
+    runnable thread with a seeded RNG. Identical seeds give identical
+    executions, which makes race-heavy SMR tests reproducible, and the cost
+    units give a throughput metric that charges each algorithm for exactly
+    the atomic operations it performs.
+
+    A thread may park itself forever with {!stall} (used by the robustness
+    experiments, Fig. 10a) and be revived with {!unstall}. *)
+
+type t
+
+type outcome =
+  | All_finished  (** every spawned thread ran to completion *)
+  | Budget_exhausted  (** the time budget ran out first *)
+  | Only_stalled  (** all remaining threads are stalled — a livelock *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh scheduler. [seed] defaults to 42. *)
+
+val spawn : t -> (unit -> unit) -> int
+(** Register a thread; returns its id. May also be called from inside a
+    running thread (dynamic thread creation). The thread starts at the
+    scheduler's discretion once {!run} is (re-)entered. *)
+
+val run : ?budget:int -> t -> outcome
+(** Execute until every thread finished, the cost [budget] (default
+    unlimited) is exhausted, or only stalled threads remain. Re-entrant in
+    the sense that a [Budget_exhausted] or [Only_stalled] run can be
+    continued by calling [run] again (e.g. after {!unstall}). *)
+
+val now : t -> int
+(** Accumulated cost units consumed so far. *)
+
+val step : int -> unit
+(** Called by instrumented cells from inside a thread: charge [cost] units
+    and yield. Outside any scheduler this is a no-op, so simulated
+    structures remain usable from plain sequential code and unit tests. *)
+
+val stall : unit -> unit
+(** Park the calling thread until {!unstall}. *)
+
+val unstall : t -> int -> unit
+(** Make a stalled thread runnable again. *)
+
+val self : unit -> int
+(** Id of the running thread. Raises [Invalid_argument] outside a run. *)
+
+val inside : unit -> bool
+(** Whether the caller is executing inside a scheduler-run thread. *)
+
+val live_threads : t -> int
+(** Threads spawned and not yet finished (stalled ones included). *)
+
+val set_picker : t -> (int -> int) option -> unit
+(** Override the random scheduling decision: [f width] must return an
+    index in [0, width). Used by {!Explore} to enumerate schedules
+    systematically; [None] restores seeded random scheduling. *)

@@ -1,0 +1,113 @@
+(** Scheduler-instrumented shared cells.
+
+    Each operation charges a cost (in abstract time units) and yields to the
+    running {!Scheduler}, making every shared-memory access a preemption
+    point. The default costs reflect the relative expense of atomic
+    operations on modern CPUs (Schweizer, Besta & Hoefler, PACT'15 — the
+    paper's own citation [33] for atomic-op costs): loads are cheap,
+    plain stores carry a barrier, CAS and swap are the most expensive,
+    FAA sits in between.
+
+    Outside a scheduler the operations degrade to plain sequential ones, so
+    the same structures work in ordinary unit tests. *)
+
+type costs = {
+  read : int;
+  write : int;
+  cas : int;
+  faa : int;
+  swap : int;
+}
+
+(* Calibrated to Schweizer, Besta & Hoefler's measurements (the paper's
+   [33]): on modern x86 an uncontended lock-prefixed RMW (CAS/FAA/SWP) and
+   a fenced store both cost ≈4-5 L1 loads. [write] models the
+   sequentially-consistent store every SMR publication write needs — the
+   §3.3 comparison of EBR's writes-with-barriers against Hyaline's
+   uncontended CAS hinges on these being comparable. *)
+let default_costs = { read = 1; write = 4; cas = 4; faa = 3; swap = 4 }
+
+(* Mutable so benchmarks can ablate the cost model; single-domain use only,
+   like the scheduler itself. *)
+let costs = ref default_costs
+
+(* Operation counters (plain ints, zero simulated cost): the per-scheme
+   atomic-op mix behind Table 1, reported by [bench/main.exe breakdown]. *)
+type op_counts = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable plain_writes : int;
+  mutable cas_ok : int;
+  mutable cas_fail : int;
+  mutable faas : int;
+  mutable swaps : int;
+}
+
+let counts =
+  {
+    reads = 0;
+    writes = 0;
+    plain_writes = 0;
+    cas_ok = 0;
+    cas_fail = 0;
+    faas = 0;
+    swaps = 0;
+  }
+
+let reset_counts () =
+  counts.reads <- 0;
+  counts.writes <- 0;
+  counts.plain_writes <- 0;
+  counts.cas_ok <- 0;
+  counts.cas_fail <- 0;
+  counts.faas <- 0;
+  counts.swaps <- 0
+
+type 'a t = { mutable v : 'a }
+
+let make v = { v }
+
+let get c =
+  Scheduler.step !costs.read;
+  counts.reads <- counts.reads + 1;
+  c.v
+
+let set c v =
+  Scheduler.step !costs.write;
+  counts.writes <- counts.writes + 1;
+  c.v <- v
+
+(* Pre-publication store: no ordering needed, plain-store price. *)
+let set_plain c v =
+  Scheduler.step !costs.read;
+  counts.plain_writes <- counts.plain_writes + 1;
+  c.v <- v
+
+let exchange c v =
+  Scheduler.step !costs.swap;
+  counts.swaps <- counts.swaps + 1;
+  let old = c.v in
+  c.v <- v;
+  old
+
+let compare_and_set c expected desired =
+  Scheduler.step !costs.cas;
+  if c.v == expected then begin
+    counts.cas_ok <- counts.cas_ok + 1;
+    c.v <- desired;
+    true
+  end
+  else begin
+    counts.cas_fail <- counts.cas_fail + 1;
+    false
+  end
+
+let fetch_and_add c d =
+  Scheduler.step !costs.faa;
+  counts.faas <- counts.faas + 1;
+  let old = c.v in
+  c.v <- old + d;
+  old
+
+let incr c = ignore (fetch_and_add c 1)
+let decr c = ignore (fetch_and_add c (-1))

@@ -1,0 +1,9 @@
+(** Simulated runtime: {!Sim_cell} atomics over the deterministic
+    {!Scheduler}. All figure reproductions run on this runtime. *)
+
+let name = "sim"
+
+module Atomic = Sim_cell
+
+let self () = Scheduler.self ()
+let yield () = Scheduler.step 1

@@ -1,0 +1,1 @@
+lib/smr/ebr.ml: Array Lifecycle List Smr_intf Smr_runtime

@@ -1,0 +1,1 @@
+lib/smr/he.ml: Array Lifecycle List Smr_intf Smr_runtime Stdlib

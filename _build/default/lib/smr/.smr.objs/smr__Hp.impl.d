@@ -1,0 +1,1 @@
+lib/smr/hp.ml: Array Lifecycle List Smr_intf Smr_runtime

@@ -1,0 +1,1 @@
+lib/smr/ibr.ml: Array Lifecycle List Smr_intf Smr_runtime Stdlib

@@ -1,0 +1,1 @@
+lib/smr/leaky.ml: Lifecycle Smr_intf Smr_runtime

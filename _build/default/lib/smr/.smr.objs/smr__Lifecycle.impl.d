@@ -1,0 +1,1 @@
+lib/smr/lifecycle.ml: Smr_intf Stdlib

@@ -1,0 +1,103 @@
+(** Epoch-based reclamation — the paper's [Epoch] baseline [18,19,21,35].
+
+    A global epoch clock plus one reservation word per thread. [enter]
+    publishes the current epoch; [retire] tags the node with the epoch at
+    unlink time and, every [batch_size] retirements, scans all reservations
+    (the O(n) cost Table 1 attributes to EBR) and frees every own node whose
+    retire epoch precedes the oldest active reservation.
+
+    Not robust: one stalled reader pins its reservation and blocks all
+    subsequent frees — exactly the behaviour Fig. 10a demonstrates. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) = struct
+  let scheme_name = "Epoch"
+  let robust = false
+
+  module R = R
+
+  let inactive = max_int
+
+  type 'a node = { payload : 'a; state : Lifecycle.cell }
+
+  type 'a t = {
+    cfg : Smr_intf.config;
+    counters : Lifecycle.counters;
+    epoch : int R.Atomic.t;
+    reservations : int R.Atomic.t array;
+    (* Thread-local retire lists: (retire_epoch, node), newest first. *)
+    limbo : (int * 'a node) list array;
+    since_scan : int array;
+  }
+
+  type 'a guard = { tid : int }
+
+  let create (cfg : Smr_intf.config) =
+    {
+      cfg;
+      counters = Lifecycle.make_counters ();
+      epoch = R.Atomic.make 0;
+      reservations =
+        Array.init cfg.max_threads (fun _ -> R.Atomic.make inactive);
+      limbo = Array.make cfg.max_threads [];
+      since_scan = Array.make cfg.max_threads 0;
+    }
+
+  let alloc t payload = { payload; state = Lifecycle.on_alloc t.counters }
+
+  let data n =
+    Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
+    n.payload
+
+  let enter t =
+    let tid = R.self () in
+    R.Atomic.set t.reservations.(tid) (R.Atomic.get t.epoch);
+    { tid }
+
+  let leave t g = R.Atomic.set t.reservations.(g.tid) inactive
+
+  let oldest_reservation t =
+    let oldest = ref inactive in
+    for i = 0 to t.cfg.max_threads - 1 do
+      let r = R.Atomic.get t.reservations.(i) in
+      if r < !oldest then oldest := r
+    done;
+    !oldest
+
+  (* Advance the epoch if every active thread has caught up with it, then
+     free own limbo nodes older than the oldest reservation. *)
+  let scan t tid =
+    let e = R.Atomic.get t.epoch in
+    if oldest_reservation t >= e then
+      ignore (R.Atomic.compare_and_set t.epoch e (e + 1));
+    let horizon = oldest_reservation t in
+    let keep, free =
+      List.partition (fun (re, _) -> re >= horizon) t.limbo.(tid)
+    in
+    t.limbo.(tid) <- keep;
+    List.iter
+      (fun (_, n) -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+      free
+
+  let retire t g n =
+    Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
+    let tid = g.tid in
+    t.limbo.(tid) <- (R.Atomic.get t.epoch, n) :: t.limbo.(tid);
+    t.since_scan.(tid) <- t.since_scan.(tid) + 1;
+    if t.since_scan.(tid) >= t.cfg.batch_size then begin
+      t.since_scan.(tid) <- 0;
+      scan t tid
+    end
+
+  let protect (_ : _ t) (_ : _ guard) ~idx:_ ~read ~target:_ = read ()
+
+  let refresh t g =
+    leave t g;
+    enter t
+
+  let flush t =
+    for tid = 0 to t.cfg.max_threads - 1 do
+      scan t tid
+    done
+
+  let stats t = Lifecycle.stats t.counters
+end

@@ -1,0 +1,133 @@
+(** Hazard eras (Ramalhete & Correia, SPAA'17) — the paper's [HE] baseline.
+
+    HP's structure with eras instead of addresses: nodes carry birth and
+    retire eras; a dereference publishes the current era in one of the
+    thread's reservation slots and validates that the clock did not move.
+    A node is freed once no published era falls inside its
+    [birth, retire] lifespan. Robust, O(mn) scans like HP, but dereferences
+    are cheaper because many hit an already-published era. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) = struct
+  let scheme_name = "HE"
+  let robust = true
+
+  module R = R
+
+  let none = -1
+
+  type 'a node = {
+    payload : 'a;
+    state : Lifecycle.cell;
+    birth : int;
+    mutable retire_era : int;
+  }
+
+  type 'a t = {
+    cfg : Smr_intf.config;
+    counters : Lifecycle.counters;
+    era : int R.Atomic.t;
+    reservations : int R.Atomic.t array array;  (* [tid].(idx) = era or none *)
+    limbo : 'a node list array;
+    limbo_len : int array;
+    since_scan : int array;
+    (* Allocation counter driving era bumps. Plain [Stdlib.Atomic] so that
+       prefill (outside any logical thread) can allocate too; the paper
+       counts per thread, but only the bump frequency matters. *)
+    alloc_clock : int Stdlib.Atomic.t;
+  }
+
+  type 'a guard = { tid : int; mutable used : int }
+
+  let create (cfg : Smr_intf.config) =
+    {
+      cfg;
+      counters = Lifecycle.make_counters ();
+      era = R.Atomic.make 0;
+      reservations =
+        Array.init cfg.max_threads (fun _ ->
+            Array.init cfg.hp_indices (fun _ -> R.Atomic.make none));
+      limbo = Array.make cfg.max_threads [];
+      limbo_len = Array.make cfg.max_threads 0;
+      since_scan = Array.make cfg.max_threads 0;
+      alloc_clock = Stdlib.Atomic.make 0;
+    }
+
+  (* Era bumps happen on allocation, every [era_freq] allocations, as in the
+     original HE and in Hyaline-S (Fig. 5, init_node). *)
+  let alloc t payload =
+    let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+    if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+    {
+      payload;
+      state = Lifecycle.on_alloc t.counters;
+      birth = R.Atomic.get t.era;
+      retire_era = none;
+    }
+
+  let data n =
+    Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
+    n.payload
+
+  let enter (_ : _ t) = { tid = R.self (); used = 0 }
+
+  let leave t g =
+    let slots = t.reservations.(g.tid) in
+    for idx = 0 to g.used - 1 do
+      R.Atomic.set slots.(idx) none
+    done;
+    g.used <- 0
+
+  let protect t g ~idx ~read ~target:_ =
+    if idx >= t.cfg.hp_indices then invalid_arg "He.protect: idx out of range";
+    if idx >= g.used then g.used <- idx + 1;
+    let slot = t.reservations.(g.tid).(idx) in
+    let rec attempt prev =
+      R.Atomic.set slot prev;
+      let v = read () in
+      let now = R.Atomic.get t.era in
+      if now = prev then v else attempt now
+    in
+    attempt (R.Atomic.get t.era)
+
+  (* Snapshot every published era once (charged), then partition with pure
+     interval tests. *)
+  let scan t tid =
+    let eras = ref [] in
+    for tid' = 0 to t.cfg.max_threads - 1 do
+      for idx = 0 to t.cfg.hp_indices - 1 do
+        let r = R.Atomic.get t.reservations.(tid').(idx) in
+        if r <> none then eras := r :: !eras
+      done
+    done;
+    let reserved n =
+      List.exists (fun r -> n.birth <= r && r <= n.retire_era) !eras
+    in
+    let keep, free = List.partition reserved t.limbo.(tid) in
+    t.limbo.(tid) <- keep;
+    t.limbo_len.(tid) <- List.length keep;
+    List.iter
+      (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+      free
+
+  let retire t g n =
+    Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
+    n.retire_era <- R.Atomic.get t.era;
+    t.limbo.(g.tid) <- n :: t.limbo.(g.tid);
+    t.limbo_len.(g.tid) <- t.limbo_len.(g.tid) + 1;
+    t.since_scan.(g.tid) <- t.since_scan.(g.tid) + 1;
+    if t.since_scan.(g.tid) >= t.cfg.batch_size then begin
+      t.since_scan.(g.tid) <- 0;
+      scan t g.tid
+    end
+
+  let refresh t g =
+    leave t g;
+    enter t
+
+  let flush t =
+    for tid = 0 to t.cfg.max_threads - 1 do
+      scan t tid
+    done
+
+  let stats t = Lifecycle.stats t.counters
+end

@@ -1,0 +1,109 @@
+(** Hazard pointers (Michael, 2004) — the paper's [HP] baseline.
+
+    Each thread owns [hp_indices] published hazard slots. Every dereference
+    publishes the candidate node and validates it by re-reading the source
+    (the per-access store + fence Table 1 blames for HP's slowness).
+    Retired nodes go to a thread-local list; when it reaches [batch_size]
+    the thread scans all published hazards — O(mn) work — and frees its
+    non-hazarded nodes. Robust: a stalled thread pins at most the nodes in
+    its own hazard slots. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) = struct
+  let scheme_name = "HP"
+  let robust = true
+
+  module R = R
+
+  type 'a node = { payload : 'a; state : Lifecycle.cell }
+
+  type 'a t = {
+    cfg : Smr_intf.config;
+    counters : Lifecycle.counters;
+    hazards : 'a node option R.Atomic.t array array;  (* [tid].(idx) *)
+    limbo : 'a node list array;
+    limbo_len : int array;
+  }
+
+  type 'a guard = { tid : int; mutable used : int  (* highest idx + 1 *) }
+
+  let create (cfg : Smr_intf.config) =
+    {
+      cfg;
+      counters = Lifecycle.make_counters ();
+      hazards =
+        Array.init cfg.max_threads (fun _ ->
+            Array.init cfg.hp_indices (fun _ -> R.Atomic.make None));
+      limbo = Array.make cfg.max_threads [];
+      limbo_len = Array.make cfg.max_threads 0;
+    }
+
+  let alloc t payload = { payload; state = Lifecycle.on_alloc t.counters }
+
+  let data n =
+    Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
+    n.payload
+
+  let enter (_ : _ t) = { tid = R.self (); used = 0 }
+
+  let leave t g =
+    let slots = t.hazards.(g.tid) in
+    for idx = 0 to g.used - 1 do
+      R.Atomic.set slots.(idx) None
+    done;
+    g.used <- 0
+
+  let protect t g ~idx ~read ~target =
+    if idx >= t.cfg.hp_indices then invalid_arg "Hp.protect: idx out of range";
+    if idx >= g.used then g.used <- idx + 1;
+    let slot = t.hazards.(g.tid).(idx) in
+    let rec attempt () =
+      let v = read () in
+      match target v with
+      | None ->
+          R.Atomic.set slot None;
+          v
+      | Some n ->
+          R.Atomic.set slot (Some n);
+          let v' = read () in
+          (match target v' with
+          | Some n' when n' == n -> v'
+          | Some _ | None -> attempt ())
+    in
+    attempt ()
+
+  (* One pass over all published hazards (the charged O(mn) reads of
+     Table 1), then a pure membership test per limbo node. *)
+  let scan t tid =
+    let published = ref [] in
+    for tid' = 0 to t.cfg.max_threads - 1 do
+      for idx = 0 to t.cfg.hp_indices - 1 do
+        match R.Atomic.get t.hazards.(tid').(idx) with
+        | Some h -> published := h :: !published
+        | None -> ()
+      done
+    done;
+    let hazarded n = List.memq n !published in
+    let keep, free = List.partition hazarded t.limbo.(tid) in
+    t.limbo.(tid) <- keep;
+    t.limbo_len.(tid) <- List.length keep;
+    List.iter
+      (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+      free
+
+  let retire t g n =
+    Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
+    t.limbo.(g.tid) <- n :: t.limbo.(g.tid);
+    t.limbo_len.(g.tid) <- t.limbo_len.(g.tid) + 1;
+    if t.limbo_len.(g.tid) >= t.cfg.batch_size then scan t g.tid
+
+  let refresh t g =
+    leave t g;
+    enter t
+
+  let flush t =
+    for tid = 0 to t.cfg.max_threads - 1 do
+      scan t tid
+    done
+
+  let stats t = Lifecycle.stats t.counters
+end

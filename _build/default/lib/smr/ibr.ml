@@ -1,0 +1,135 @@
+(** Interval-based reclamation, 2GE variant (Wen et al., PPoPP'18) — the
+    paper's [IBR] baseline and the source of the birth-era idea Hyaline-S
+    partially adopts.
+
+    Each thread keeps one reservation {i interval} [lower, upper]: [enter]
+    sets both to the current era; every dereference raises [upper] to the
+    current era. A node lives over [birth, retire]; it is freed when no
+    thread's reservation interval intersects its lifespan. Robust — a
+    stalled thread pins only nodes overlapping its frozen interval — with
+    EBR-like API and O(n) scans. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) = struct
+  let scheme_name = "IBR"
+  let robust = true
+
+  module R = R
+
+  let none = -1
+
+  type 'a node = {
+    payload : 'a;
+    state : Lifecycle.cell;
+    birth : int;
+    mutable retire_era : int;
+  }
+
+  type 'a t = {
+    cfg : Smr_intf.config;
+    counters : Lifecycle.counters;
+    era : int R.Atomic.t;
+    lower : int R.Atomic.t array;
+    upper : int R.Atomic.t array;
+    limbo : 'a node list array;
+    limbo_len : int array;
+    since_scan : int array;
+    alloc_clock : int Stdlib.Atomic.t;
+  }
+
+  type 'a guard = { tid : int }
+
+  let create (cfg : Smr_intf.config) =
+    {
+      cfg;
+      counters = Lifecycle.make_counters ();
+      era = R.Atomic.make 0;
+      lower = Array.init cfg.max_threads (fun _ -> R.Atomic.make none);
+      upper = Array.init cfg.max_threads (fun _ -> R.Atomic.make none);
+      limbo = Array.make cfg.max_threads [];
+      limbo_len = Array.make cfg.max_threads 0;
+      since_scan = Array.make cfg.max_threads 0;
+      alloc_clock = Stdlib.Atomic.make 0;
+    }
+
+  let alloc t payload =
+    let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+    if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+    {
+      payload;
+      state = Lifecycle.on_alloc t.counters;
+      birth = R.Atomic.get t.era;
+      retire_era = none;
+    }
+
+  let data n =
+    Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
+    n.payload
+
+  let enter t =
+    let tid = R.self () in
+    let e = R.Atomic.get t.era in
+    R.Atomic.set t.lower.(tid) e;
+    R.Atomic.set t.upper.(tid) e;
+    { tid }
+
+  let leave t g =
+    R.Atomic.set t.lower.(g.tid) none;
+    R.Atomic.set t.upper.(g.tid) none
+
+  (* 2GE dereference: raise the upper reservation until it covers the era at
+     which the pointer was read, re-reading on each raise. *)
+  let protect t g ~idx:_ ~read ~target:_ =
+    let rec attempt () =
+      let v = read () in
+      let e = R.Atomic.get t.era in
+      if R.Atomic.get t.upper.(g.tid) >= e then v
+      else begin
+        R.Atomic.set t.upper.(g.tid) e;
+        attempt ()
+      end
+    in
+    attempt ()
+
+  (* Snapshot every reservation interval once (charged O(n) reads), then
+     partition with pure interval-overlap tests. *)
+  let scan t tid =
+    let intervals = ref [] in
+    for tid' = 0 to t.cfg.max_threads - 1 do
+      let lo = R.Atomic.get t.lower.(tid') in
+      let hi = R.Atomic.get t.upper.(tid') in
+      if lo <> none then intervals := (lo, hi) :: !intervals
+    done;
+    let reserved n =
+      List.exists
+        (fun (lo, hi) -> lo <= n.retire_era && n.birth <= hi)
+        !intervals
+    in
+    let keep, free = List.partition reserved t.limbo.(tid) in
+    t.limbo.(tid) <- keep;
+    t.limbo_len.(tid) <- List.length keep;
+    List.iter
+      (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+      free
+
+  let retire t g n =
+    Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
+    n.retire_era <- R.Atomic.get t.era;
+    t.limbo.(g.tid) <- n :: t.limbo.(g.tid);
+    t.limbo_len.(g.tid) <- t.limbo_len.(g.tid) + 1;
+    t.since_scan.(g.tid) <- t.since_scan.(g.tid) + 1;
+    if t.since_scan.(g.tid) >= t.cfg.batch_size then begin
+      t.since_scan.(g.tid) <- 0;
+      scan t g.tid
+    end
+
+  let refresh t g =
+    leave t g;
+    enter t
+
+  let flush t =
+    for tid = 0 to t.cfg.max_threads - 1 do
+      scan t tid
+    done
+
+  let stats t = Lifecycle.stats t.counters
+end

@@ -1,0 +1,37 @@
+(** No reclamation at all — the paper's [Leaky] baseline (§6). Retired nodes
+    are counted but never freed, so throughput shows the cost floor of the
+    data structure itself. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) = struct
+  let scheme_name = "Leaky"
+  let robust = false
+
+  module R = R
+
+  type 'a node = { payload : 'a; state : Lifecycle.cell }
+  type 'a t = { counters : Lifecycle.counters }
+  type 'a guard = unit
+
+  let create (_ : Smr_intf.config) = { counters = Lifecycle.make_counters () }
+
+  let alloc t payload =
+    { payload; state = Lifecycle.on_alloc t.counters }
+
+  let data n =
+    Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
+    n.payload
+
+  let enter (_ : _ t) = ()
+  let leave (_ : _ t) () = ()
+
+  let retire t () n =
+    Lifecycle.on_retire ~scheme:scheme_name n.state t.counters
+
+  let protect (_ : _ t) () ~idx:_ ~read ~target:_ = read ()
+  let refresh t g =
+    leave t g;
+    enter t
+
+  let flush (_ : _ t) = ()
+  let stats t = Lifecycle.stats t.counters
+end

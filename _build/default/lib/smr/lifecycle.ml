@@ -1,0 +1,58 @@
+(** Node lifecycle auditor — the reproduction's stand-in for physical
+    [free(3)] (DESIGN.md §1). Shared by every scheme.
+
+    All state lives in plain [Stdlib.Atomic] cells: correct under the
+    single-domain simulator and under native domains alike, and invisible to
+    the simulator's cost model, so auditing never distorts measurements. *)
+
+type state = Live | Retired | Freed
+
+type cell = state Stdlib.Atomic.t
+
+type counters = {
+  allocated : int Stdlib.Atomic.t;
+  retired : int Stdlib.Atomic.t;
+  freed : int Stdlib.Atomic.t;
+}
+
+let make_counters () =
+  {
+    allocated = Stdlib.Atomic.make 0;
+    retired = Stdlib.Atomic.make 0;
+    freed = Stdlib.Atomic.make 0;
+  }
+
+let stats c : Smr_intf.stats =
+  {
+    allocated = Stdlib.Atomic.get c.allocated;
+    retired = Stdlib.Atomic.get c.retired;
+    freed = Stdlib.Atomic.get c.freed;
+  }
+
+let on_alloc counters : cell =
+  Stdlib.Atomic.incr counters.allocated;
+  Stdlib.Atomic.make Live
+
+(* [tally:false] defers the statistics bump (the Hyaline engines count a
+   node as retired when its batch is sealed, matching the magnitudes the
+   paper reports — see EXPERIMENTS.md) while still enforcing the
+   retire-once lifecycle transition here. *)
+let on_retire ?(tally = true) ~scheme cell counters =
+  match Stdlib.Atomic.exchange cell Retired with
+  | Live -> if tally then Stdlib.Atomic.incr counters.retired
+  | Retired -> invalid_arg (scheme ^ ": node retired twice")
+  | Freed -> raise (Smr_intf.Use_after_free (scheme ^ ": retire after free"))
+
+let tally_retired counters n =
+  ignore (Stdlib.Atomic.fetch_and_add counters.retired n)
+
+let on_free ~scheme cell counters =
+  match Stdlib.Atomic.exchange cell Freed with
+  | Retired -> Stdlib.Atomic.incr counters.freed
+  | Freed -> raise (Smr_intf.Double_free scheme)
+  | Live -> invalid_arg (scheme ^ ": freeing a node that was never retired")
+
+let check_not_freed ~scheme ~what cell =
+  match Stdlib.Atomic.get cell with
+  | Live | Retired -> ()
+  | Freed -> raise (Smr_intf.Use_after_free (scheme ^ ": " ^ what))

@@ -1,0 +1,126 @@
+(** The safe-memory-reclamation (SMR) scheme interface.
+
+    This is the programming model of Section 2 of the paper: memory blocks
+    ("nodes") are allocated, published in a lock-free structure, later
+    {i retired} once unlinked, and physically freed by the scheme only when
+    no concurrent operation can still reach them. Every data-structure
+    operation is bracketed by [enter]/[leave].
+
+    Physical deallocation is replaced by an audited lifecycle
+    ([Live → Retired → Freed], see DESIGN.md §1): freeing flips the node to
+    [Freed]; any subsequent {!SMR.data} access raises {!Use_after_free}, and
+    freeing twice raises {!Double_free}. This turns the paper's safety
+    property into a machine-checked invariant. *)
+
+exception Use_after_free of string
+(** A node was accessed after the scheme freed it — an SMR safety violation. *)
+
+exception Double_free of string
+(** A node was freed twice — an SMR accounting violation. *)
+
+(** Global accounting, kept in plain [Stdlib.Atomic] counters so that
+    auditing never perturbs the simulator's cost accounting. *)
+type stats = { allocated : int; retired : int; freed : int }
+
+let unreclaimed s = s.retired - s.freed
+
+let pp_stats ppf s =
+  Fmt.pf ppf "allocated=%d retired=%d freed=%d unreclaimed=%d" s.allocated
+    s.retired s.freed (unreclaimed s)
+
+type config = {
+  max_threads : int;  (** upper bound on dense logical-thread ids *)
+  slots : int;  (** [k]: Hyaline slots; must be a power of two *)
+  batch_size : int;
+      (** Hyaline batch size (clamped to [>= slots + 1]); for HP/HE/IBR the
+          retire-list scan threshold; for EBR the epoch-advance frequency *)
+  era_freq : int;  (** allocations between era increments (HE/IBR/Hyaline-S) *)
+  ack_threshold : int;  (** Hyaline-S stalled-slot detection threshold *)
+  adaptive : bool;  (** Hyaline-S adaptive slot resizing (§4.3) *)
+  hp_indices : int;  (** hazard/era slots per thread (HP/HE) *)
+}
+
+let default_config =
+  {
+    max_threads = 144;
+    slots = 128;
+    batch_size = 64;
+    era_freq = 64;
+    ack_threshold = 8192;
+    adaptive = false;
+    hp_indices = 8;
+  }
+
+(** Signature implemented by every scheme: Leaky, EBR, HP, HE, IBR and the
+    four Hyaline variants. *)
+module type SMR = sig
+  val scheme_name : string
+
+  val robust : bool
+  (** Whether stalled threads cannot prevent reclamation (Table 1). *)
+
+  module R : Smr_runtime.Runtime_intf.S
+
+  type 'a t
+  (** Scheme state for one data-structure instance whose payloads have type
+      ['a]. *)
+
+  type 'a node
+  (** A managed memory block. Compare with physical equality. *)
+
+  type 'a guard
+  (** Evidence that the calling thread is inside an [enter]/[leave] bracket. *)
+
+  val create : config -> 'a t
+
+  val alloc : 'a t -> 'a -> 'a node
+  (** Allocate and initialise a node (records the birth era where the scheme
+      uses one). *)
+
+  val data : 'a node -> 'a
+  (** Payload access; raises {!Use_after_free} on a freed node. *)
+
+  val enter : 'a t -> 'a guard
+  (** Begin an operation on the structure. The guard is only valid on the
+      calling thread until the matching [leave]. *)
+
+  val leave : 'a t -> 'a guard -> unit
+  (** End the operation. Transparency (§2.4): after [leave] the thread owes
+      nothing — it never has to revisit nodes it retired. *)
+
+  val retire : 'a t -> 'a guard -> 'a node -> unit
+  (** Second step of the two-step reclamation: the node has been unlinked
+      from the structure and may be freed once unreachable. *)
+
+  val protect :
+    'a t ->
+    'a guard ->
+    idx:int ->
+    read:(unit -> 'b) ->
+    target:('b -> 'a node option) ->
+    'b
+  (** Safely read a shared value [read ()] containing a node pointer
+      (extracted by [target]). Pointer-based schemes (HP) publish a hazard
+      for slot [idx] and validate by re-reading; era-based schemes (HE, IBR,
+      Hyaline-S) advance their reservation era; epoch/Hyaline read plainly.
+      [idx] must be stable per pointer role and [< hp_indices]. *)
+
+  val refresh : 'a t -> 'a guard -> 'a guard
+  (** End the current operation and start the next one in a single step.
+      Semantically [leave] followed by [enter] (and implemented that way by
+      every baseline scheme); the Hyaline variants override it with [trim]
+      (§3.3), which releases the nodes retired since the guard's handle
+      without touching [Head]. *)
+
+  val flush : 'a t -> unit
+  (** Drain thread-local pending work across all threads: finalize partial
+      Hyaline batches, force scans/epoch advances elsewhere. Only sound at
+      quiescence (no thread between [enter] and [leave]); used by tests and
+      harness teardown. *)
+
+  val stats : 'a t -> stats
+end
+
+(** Functor shape shared by all schemes. *)
+module type SCHEME = functor (R : Smr_runtime.Runtime_intf.S) ->
+  SMR with module R = R

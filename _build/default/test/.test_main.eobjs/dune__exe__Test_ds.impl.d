@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Ebr He Hp Hyaline Hyaline1 Hyaline1s Hyaline_s Ibr Int Leaky Printf Random Set Smr_ds Smr_runtime Test_support

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Hyaline List Random Smr_ds Smr_runtime Test_support

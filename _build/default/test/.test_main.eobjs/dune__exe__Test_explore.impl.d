@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Hyaline Hyaline1 Hyaline_llsc Hyaline_s List Printf Smr Smr_ds Smr_runtime String Test_support

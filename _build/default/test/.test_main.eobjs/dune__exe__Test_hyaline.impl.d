@@ -1,0 +1,1 @@
+test/test_hyaline.ml: Alcotest Float Hyaline Hyaline_core Hyaline_llsc Hyaline_s Hyaline_s_llsc Printf QCheck QCheck_alcotest Random Smr Smr_ds Smr_runtime Test_support

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Ebr Hyaline Hyaline_s List Printf QCheck QCheck_alcotest Random Smr_ds Smr_harness Smr_runtime Test_support

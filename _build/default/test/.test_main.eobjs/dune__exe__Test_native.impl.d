@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Hyaline_core List Printf Random Smr Smr_ds Smr_runtime

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Ebr Hp Hyaline Hyaline1s Ibr List Printf Smr Smr_ds Smr_runtime Test_support

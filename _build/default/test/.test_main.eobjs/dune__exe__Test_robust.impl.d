@@ -1,0 +1,1 @@
+test/test_robust.ml: Alcotest List Random Smr_ds Smr_runtime Test_support

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Buffer Fun List Printf Smr_runtime Test_support

@@ -1,0 +1,1 @@
+test/test_schemes_unit.ml: Alcotest Ebr He Hp Hyaline_core Ibr Leaky Smr Smr_runtime Test_support

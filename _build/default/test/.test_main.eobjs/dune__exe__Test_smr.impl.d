@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Leaky List Random Smr_ds Smr_runtime Test_support

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Hyaline_core Smr Smr_runtime

@@ -1,0 +1,152 @@
+(** Data-structure correctness: each benchmark structure, over several
+    schemes, checked against a sequential reference model and against
+    per-key linearizability counting under concurrency. *)
+
+module Sched = Smr_runtime.Scheduler
+module IntSet = Set.Make (Int)
+open Test_support
+
+module Make (D : Smr_ds.Ds_intf.CONC_SET) = struct
+  (* Sequential: run a random op sequence on one simulated thread and
+     mirror it in a Set; results must agree exactly. *)
+  let test_sequential_model () =
+    for seed = 1 to 5 do
+      run_solo (fun () ->
+          let set = D.create ~buckets:64 (test_cfg ~threads:1) in
+          let model = ref IntSet.empty in
+          let rng = Random.State.make [| seed |] in
+          for step = 1 to 400 do
+            let key = Random.State.int rng 48 in
+            match Random.State.int rng 3 with
+            | 0 ->
+                let expect = not (IntSet.mem key !model) in
+                model := IntSet.add key !model;
+                Alcotest.(check bool)
+                  (Printf.sprintf "insert %d @%d" key step)
+                  expect (D.insert set key)
+            | 1 ->
+                let expect = IntSet.mem key !model in
+                model := IntSet.remove key !model;
+                Alcotest.(check bool)
+                  (Printf.sprintf "remove %d @%d" key step)
+                  expect (D.remove set key)
+            | _ ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "contains %d @%d" key step)
+                  (IntSet.mem key !model) (D.contains set key)
+          done)
+    done
+
+  (* Concurrent: successful inserts minus successful removes per key must
+     equal the final membership — the per-key histories are linearizable
+     counts regardless of interleaving. *)
+  let test_concurrent_counting () =
+    for seed = 1 to 6 do
+      let threads = 8 in
+      let key_range = 32 in
+      let cfg = test_cfg ~threads in
+      let set = D.create ~buckets:16 cfg in
+      let ins = Array.make key_range 0 in
+      let del = Array.make key_range 0 in
+      let sched = Sched.create ~seed () in
+      for tid = 0 to threads - 1 do
+        ignore
+          (Sched.spawn sched (fun () ->
+               let rng = Random.State.make [| seed; tid |] in
+               for _ = 1 to 150 do
+                 let key = Random.State.int rng key_range in
+                 if Random.State.bool rng then begin
+                   if D.insert set key then ins.(key) <- ins.(key) + 1
+                 end
+                 else if D.remove set key then del.(key) <- del.(key) + 1
+               done))
+      done;
+      (match Sched.run sched with
+      | Sched.All_finished -> ()
+      | _ -> Alcotest.fail "concurrent workload did not finish");
+      run_solo (fun () ->
+          for key = 0 to key_range - 1 do
+            let balance = ins.(key) - del.(key) in
+            Alcotest.(check bool)
+              (Printf.sprintf "key %d balance in {0,1}" key)
+              true
+              (balance = 0 || balance = 1);
+            Alcotest.(check bool)
+              (Printf.sprintf "key %d membership matches balance" key)
+              (balance = 1) (D.contains set key)
+          done)
+    done
+
+  (* After draining every key and flushing, nothing may stay unreclaimed. *)
+  let test_quiescent_reclamation () =
+    let threads = 6 in
+    let cfg = test_cfg ~threads in
+    let set = D.create ~buckets:16 cfg in
+    let sched = Sched.create ~seed:11 () in
+    for tid = 0 to threads - 1 do
+      ignore
+        (Sched.spawn sched (fun () ->
+             let rng = Random.State.make [| tid |] in
+             for _ = 1 to 200 do
+               let key = Random.State.int rng 64 in
+               if Random.State.bool rng then ignore (D.insert set key)
+               else ignore (D.remove set key)
+             done))
+    done;
+    (match Sched.run sched with
+    | Sched.All_finished -> ()
+    | _ -> Alcotest.fail "workload did not finish");
+    run_solo (fun () ->
+        for key = 0 to 63 do
+          ignore (D.remove set key)
+        done);
+    D.flush set;
+    if D.S.scheme_name <> "Leaky" then
+      check_no_leak (D.ds_name ^ "/" ^ D.S.scheme_name) (D.stats set)
+
+  let suite tag =
+    [
+      Alcotest.test_case (tag ^ ":sequential-model") `Quick
+        test_sequential_model;
+      Alcotest.test_case (tag ^ ":concurrent-counting") `Quick
+        test_concurrent_counting;
+      Alcotest.test_case (tag ^ ":quiescent-reclamation") `Quick
+        test_quiescent_reclamation;
+    ]
+end
+
+(* The full cross product would be slow; cover every structure with a
+   representative scheme family: non-robust Hyaline, robust Hyaline-S,
+   EBR, and the pointer-based HP (skipping HP for Bonsai, as in §6). *)
+let suite =
+  let per_scheme (name, (module S : SMR)) ~bonsai_ok =
+    let module L = Smr_ds.Harris_michael_list.Make (S) in
+    let module M = Smr_ds.Michael_hashmap.Make (S) in
+    let module T = Smr_ds.Natarajan_mittal_tree.Make (S) in
+    let module K = Smr_ds.Skiplist.Make (S) in
+    let module TL = Make (L) in
+    let module TM = Make (M) in
+    let module TT = Make (T) in
+    let module TK = Make (K) in
+    let base =
+      TL.suite ("list/" ^ name)
+      @ TM.suite ("hashmap/" ^ name)
+      @ TT.suite ("nm-tree/" ^ name)
+      @ TK.suite ("skiplist/" ^ name)
+    in
+    if bonsai_ok then begin
+      let module B = Smr_ds.Bonsai_tree.Make (S) in
+      let module TB = Make (B) in
+      base @ TB.suite ("bonsai/" ^ name)
+    end
+    else base
+  in
+  per_scheme ("hyaline", (module Hyaline)) ~bonsai_ok:true
+  @ per_scheme ("hyaline-s", (module Hyaline_s)) ~bonsai_ok:true
+  @ per_scheme ("hyaline-1", (module Hyaline1)) ~bonsai_ok:true
+  @ per_scheme ("hyaline-1s", (module Hyaline1s)) ~bonsai_ok:true
+  @ per_scheme ("epoch", (module Ebr)) ~bonsai_ok:true
+  @ per_scheme ("ibr", (module Ibr)) ~bonsai_ok:true
+  @ per_scheme ("hp", (module Hp)) ~bonsai_ok:false
+  @ per_scheme ("he", (module He)) ~bonsai_ok:false
+  @ per_scheme ("leaky", (module Leaky)) ~bonsai_ok:true

@@ -1,0 +1,126 @@
+(** Linearizability of the concurrent sets: record timestamped histories
+    under the deterministic scheduler and check each against the
+    sequential set specification with the Wing & Gong searcher. A
+    hand-crafted non-linearizable history is the negative control. *)
+
+module Sched = Smr_runtime.Scheduler
+module Lin = Smr_harness.Linearize
+open Test_support
+
+let test_checker_negative_control () =
+  (* contains(1) = true responded entirely before insert(1) was invoked:
+     no legal witness exists. *)
+  let history =
+    [
+      { Lin.op = Lin.Set_spec.Contains 1; result = true; inv = 0; res = 1 };
+      { Lin.op = Lin.Set_spec.Insert 1; result = true; inv = 5; res = 6 };
+    ]
+  in
+  Alcotest.(check bool) "impossible history rejected" false
+    (Lin.Set_spec.check_history history)
+
+let test_checker_accepts_overlap () =
+  (* The same two operations overlapping in time: contains may linearize
+     after the insert. *)
+  let history =
+    [
+      { Lin.op = Lin.Set_spec.Contains 1; result = true; inv = 0; res = 10 };
+      { Lin.op = Lin.Set_spec.Insert 1; result = true; inv = 2; res = 6 };
+    ]
+  in
+  Alcotest.(check bool) "overlapping history accepted" true
+    (Lin.Set_spec.check_history history)
+
+(* Record a real concurrent history from a set implementation and check
+   it. Small: 3 threads x 5 ops over 4 keys keeps the search instant. *)
+let record_and_check (module D : Smr_ds.Ds_intf.CONC_SET) name =
+  for seed = 1 to 10 do
+    let cfg = test_cfg ~threads:3 in
+    let set = D.create ~buckets:16 cfg in
+    let sched = Sched.create ~seed () in
+    let history = ref [] in
+    for tid = 0 to 2 do
+      ignore
+        (Sched.spawn sched (fun () ->
+             let rng = Random.State.make [| seed; tid |] in
+             for _ = 1 to 5 do
+               let key = Random.State.int rng 4 in
+               let inv = Sched.now sched in
+               let op, result =
+                 match Random.State.int rng 3 with
+                 | 0 -> (Lin.Set_spec.Insert key, D.insert set key)
+                 | 1 -> (Lin.Set_spec.Remove key, D.remove set key)
+                 | _ -> (Lin.Set_spec.Contains key, D.contains set key)
+               in
+               let res = Sched.now sched in
+               history := { Lin.op; result; inv; res } :: !history
+             done))
+    done;
+    (match Sched.run sched with
+    | Sched.All_finished -> ()
+    | _ -> Alcotest.fail "history run did not finish");
+    Alcotest.(check bool)
+      (Printf.sprintf "%s seed %d: history linearizable" name seed)
+      true
+      (Lin.Set_spec.check_history !history)
+  done
+
+(* Checker self-validation: any history produced by a sequential run is
+   linearizable, both with sequential timestamps and with fully
+   overlapping ones (which only weaken the real-time constraint). *)
+let op_gen =
+  QCheck.Gen.(
+    map2
+      (fun kind key ->
+        match kind with
+        | 0 -> Lin.Set_spec.Insert key
+        | 1 -> Lin.Set_spec.Remove key
+        | _ -> Lin.Set_spec.Contains key)
+      (int_bound 2) (int_bound 5))
+
+let qcheck_sequential_histories =
+  QCheck.Test.make ~count:200 ~name:"sequential histories linearizable"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) op_gen))
+    (fun ops ->
+      let _, events =
+        List.fold_left
+          (fun (state, acc) op ->
+            let state', result = Lin.Set_spec.apply state op in
+            let i = List.length acc in
+            ( state',
+              { Lin.op; result; inv = 2 * i; res = (2 * i) + 1 } :: acc ))
+          (Lin.Set_spec.S.empty, [])
+          ops
+      in
+      let overlapped =
+        List.map (fun e -> { e with Lin.inv = 0; res = 1000 }) events
+      in
+      Lin.Set_spec.check_history events
+      && Lin.Set_spec.check_history overlapped)
+
+let suite =
+  let for_scheme (sname, (module S : SMR)) =
+    let module L = Smr_ds.Harris_michael_list.Make (S) in
+    let module T = Smr_ds.Natarajan_mittal_tree.Make (S) in
+    let module K = Smr_ds.Skiplist.Make (S) in
+    let module B = Smr_ds.Bonsai_tree.Make (S) in
+    [
+      Alcotest.test_case (sname ^ ":list-linearizable") `Quick (fun () ->
+          record_and_check (module L) ("list/" ^ sname));
+      Alcotest.test_case (sname ^ ":nm-tree-linearizable") `Quick (fun () ->
+          record_and_check (module T) ("nm-tree/" ^ sname));
+      Alcotest.test_case (sname ^ ":skiplist-linearizable") `Quick (fun () ->
+          record_and_check (module K) ("skiplist/" ^ sname));
+      Alcotest.test_case (sname ^ ":bonsai-linearizable") `Quick (fun () ->
+          record_and_check (module B) ("bonsai/" ^ sname));
+    ]
+  in
+  [
+    Alcotest.test_case "negative-control" `Quick
+      test_checker_negative_control;
+    Alcotest.test_case "accepts-overlap" `Quick test_checker_accepts_overlap;
+    QCheck_alcotest.to_alcotest qcheck_sequential_histories;
+  ]
+  @ for_scheme ("hyaline", (module Hyaline))
+  @ for_scheme ("hyaline-s", (module Hyaline_s))
+  @ for_scheme ("epoch", (module Ebr))

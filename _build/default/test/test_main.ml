@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "hyaline"
+    [
+      ("runtime", Test_runtime.suite);
+      ("smr", Test_smr.suite);
+      ("hyaline", Test_hyaline.suite);
+      ("ds", Test_ds.suite);
+      ("robust", Test_robust.suite);
+      ("queue", Test_queue.suite);
+      ("edge", Test_edge.suite);
+      ("native", Test_native.suite);
+      ("explore", Test_explore.suite);
+      ("schemes-unit", Test_schemes_unit.suite);
+      ("linearize", Test_linearize.suite);
+    ]

@@ -1,0 +1,103 @@
+(** True-parallelism stress: the same scheme/data-structure stacks over the
+    native runtime ([Stdlib.Atomic] + [Domain]), 4 OS-preempted domains.
+    Complements the simulated tests — here the interleavings are real and
+    the memory model is the hardware's. *)
+
+module Native = Smr_runtime.Native_runtime
+module Runner = Smr_runtime.Native_runner
+
+module type SMR = Smr.Smr_intf.SMR
+
+module N_hyaline = Hyaline_core.Hyaline.Make (Native)
+module N_hyaline_llsc = Hyaline_core.Hyaline.Make_llsc (Native)
+module N_hyaline1 = Hyaline_core.Hyaline1.Make (Native)
+module N_hyaline_s = Hyaline_core.Hyaline_s.Make (Native)
+module N_hyaline1s = Hyaline_core.Hyaline1s.Make (Native)
+module N_ebr = Smr.Ebr.Make (Native)
+module N_hp = Smr.Hp.Make (Native)
+module N_ibr = Smr.Ibr.Make (Native)
+
+let cfg =
+  {
+    Smr.Smr_intf.default_config with
+    max_threads = 4;
+    slots = 4;
+    batch_size = 8;
+    era_freq = 8;
+  }
+
+module Make (S : SMR) = struct
+  module Stack = Smr_ds.Treiber_stack.Make (S)
+  module Map = Smr_ds.Michael_hashmap.Make (S)
+
+  let test_stack_parallel () =
+    let stack = Stack.create cfg in
+    Runner.run ~threads:4 (fun tid ->
+        for i = 1 to 2_000 do
+          if (i + tid) land 1 = 0 then Stack.push stack ((tid * 10_000) + i)
+          else ignore (Stack.pop stack)
+        done);
+    (* Quiescent drain on one domain. *)
+    Native.set_self 0;
+    while Stack.pop stack <> None do
+      ()
+    done;
+    Stack.flush stack;
+    Alcotest.(check int)
+      (S.scheme_name ^ ": native quiescent reclamation")
+      0
+      (Smr.Smr_intf.unreclaimed (Stack.stats stack))
+
+  let test_map_parallel_counting () =
+    let map = Map.create ~buckets:64 cfg in
+    let ins = Array.init 4 (fun _ -> Array.make 32 0) in
+    let del = Array.init 4 (fun _ -> Array.make 32 0) in
+    Runner.run ~threads:4 (fun tid ->
+        let rng = Random.State.make [| tid; 77 |] in
+        for _ = 1 to 2_000 do
+          let key = Random.State.int rng 32 in
+          if Random.State.bool rng then begin
+            if Map.insert map key then
+              ins.(tid).(key) <- ins.(tid).(key) + 1
+          end
+          else if Map.remove map key then
+            del.(tid).(key) <- del.(tid).(key) + 1
+        done);
+    Native.set_self 0;
+    for key = 0 to 31 do
+      let balance = ref 0 in
+      for tid = 0 to 3 do
+        balance := !balance + ins.(tid).(key) - del.(tid).(key)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: key %d balance" S.scheme_name key)
+        true
+        (!balance = 0 || !balance = 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: key %d membership" S.scheme_name key)
+        (!balance = 1) (Map.contains map key)
+    done
+
+  let suite tag =
+    [
+      Alcotest.test_case (tag ^ ":stack-parallel") `Quick test_stack_parallel;
+      Alcotest.test_case (tag ^ ":map-counting") `Quick
+        test_map_parallel_counting;
+    ]
+end
+
+let suite =
+  List.concat_map
+    (fun (name, (module S : SMR)) ->
+      let module T = Make (S) in
+      T.suite name)
+    [
+      ("hyaline", (module N_hyaline : SMR));
+      ("hyaline-llsc", (module N_hyaline_llsc));
+      ("hyaline-1", (module N_hyaline1));
+      ("hyaline-s", (module N_hyaline_s));
+      ("hyaline-1s", (module N_hyaline1s));
+      ("epoch", (module N_ebr));
+      ("hp", (module N_hp));
+      ("ibr", (module N_ibr));
+    ]

@@ -1,0 +1,73 @@
+(** Robustness semantics per scheme (§4.2, Fig. 10a): with one thread
+    parked inside its bracket forever, robust schemes must keep freeing
+    newly retired nodes; non-robust schemes must freeze. Both directions
+    are asserted against each module's own [robust] flag. *)
+
+module Sched = Smr_runtime.Scheduler
+open Test_support
+
+let run_with_stall (module S : SMR) =
+  let module Map = Smr_ds.Michael_hashmap.Make (S) in
+  let cfg =
+    {
+      (test_cfg ~threads:7) with
+      slots = 4;
+      batch_size = 8;
+      era_freq = 8;
+      ack_threshold = 32;
+    }
+  in
+  let map = Map.create ~buckets:64 cfg in
+  let sched = Sched.create ~seed:9 () in
+  (* Warm up some history, then stall a reader mid-bracket. *)
+  ignore
+    (Sched.spawn sched (fun () ->
+         for k = 0 to 63 do
+           ignore (Map.insert map k)
+         done));
+  ignore (Sched.run sched);
+  ignore
+    (Sched.spawn sched (fun () ->
+         let g = Map.enter map in
+         ignore (Map.contains_with map g 0);
+         Sched.stall ()));
+  for tid = 2 to 6 do
+    ignore
+      (Sched.spawn sched (fun () ->
+           let rng = Random.State.make [| tid |] in
+           while true do
+             let key = Random.State.int rng 64 in
+             if Random.State.bool rng then ignore (Map.insert map key)
+             else ignore (Map.remove map key)
+           done))
+  done;
+  (* Two measurement windows well past warm-up: robustness means freeing
+     keeps happening in the second window, not that any fixed fraction is
+     reclaimed. *)
+  ignore (Sched.run ~budget:150_000 sched);
+  let mid = Map.stats map in
+  ignore (Sched.run ~budget:150_000 sched);
+  let fin = Map.stats map in
+  (mid, fin)
+
+let test_scheme (name, (module S : SMR)) () =
+  let mid, fin = run_with_stall (module S) in
+  let freed_late = fin.freed - mid.freed in
+  let retired_late = fin.retired - mid.retired in
+  if S.robust then
+    Alcotest.(check bool)
+      (name ^ ": robust scheme keeps freeing under a stalled reader")
+      true
+      (freed_late * 2 > retired_late)
+  else
+    Alcotest.(check bool)
+      (name ^ ": non-robust scheme freezes under a stalled reader")
+      true
+      (freed_late * 10 < retired_late)
+
+let suite =
+  List.map
+    (fun ((name, _) as entry) ->
+      Alcotest.test_case (name ^ ":stalled-reader") `Quick
+        (test_scheme entry))
+    reclaiming_schemes

@@ -1,0 +1,144 @@
+(** Tests for the deterministic scheduler and simulated atomics. *)
+
+module Sched = Smr_runtime.Scheduler
+module Cell = Smr_runtime.Sim_cell
+
+let test_runs_to_completion () =
+  let hits = ref 0 in
+  let total =
+    Test_support.run_threads ~threads:5 (fun _ ->
+        for _ = 1 to 10 do
+          incr hits;
+          Sched.step 1
+        done)
+  in
+  Alcotest.(check int) "every iteration ran" 50 !hits;
+  Alcotest.(check bool) "cost accumulated" true (total >= 50)
+
+let test_deterministic () =
+  let trace seed =
+    let log = Buffer.create 64 in
+    let sched = Sched.create ~seed () in
+    for tid = 0 to 3 do
+      ignore
+        (Sched.spawn sched (fun () ->
+             for i = 1 to 5 do
+               Buffer.add_string log (Printf.sprintf "%d.%d;" tid i);
+               Sched.step 1
+             done))
+    done;
+    ignore (Sched.run sched);
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed, same schedule" (trace 7) (trace 7);
+  Alcotest.(check bool)
+    "different seeds interleave differently" true
+    (trace 7 <> trace 8)
+
+let test_interleaving_is_real () =
+  (* With yields between read and write, increments must get lost for some
+     seed — proof the scheduler actually interleaves at step granularity. *)
+  let lost_updates seed =
+    let c = Cell.make 0 in
+    let sched = Sched.create ~seed () in
+    for _ = 1 to 4 do
+      ignore
+        (Sched.spawn sched (fun () ->
+             for _ = 1 to 25 do
+               let v = Cell.get c in
+               Cell.set c (v + 1)
+             done))
+    done;
+    ignore (Sched.run sched);
+    100 - Cell.get c
+  in
+  let total = List.fold_left (fun a s -> a + lost_updates s) 0 [ 1; 2; 3 ] in
+  Alcotest.(check bool) "some increments lost across seeds" true (total > 0)
+
+let test_cas_never_loses () =
+  let c = Cell.make 0 in
+  ignore
+    (Test_support.run_threads ~threads:4 (fun _ ->
+         for _ = 1 to 25 do
+           let rec bump () =
+             let v = Cell.get c in
+             if not (Cell.compare_and_set c v (v + 1)) then bump ()
+           in
+           bump ()
+         done));
+  Alcotest.(check int) "CAS loop increments all land" 100 (Cell.get c)
+
+let test_faa_atomic () =
+  let c = Cell.make 0 in
+  ignore
+    (Test_support.run_threads ~threads:8 (fun _ ->
+         for _ = 1 to 50 do
+           ignore (Cell.fetch_and_add c 1)
+         done));
+  Alcotest.(check int) "FAA increments all land" 400 (Cell.get c)
+
+let test_stall_and_unstall () =
+  let sched = Sched.create () in
+  let reached = ref false in
+  let stalled_tid =
+    Sched.spawn sched (fun () ->
+        Sched.stall ();
+        reached := true)
+  in
+  ignore
+    (Sched.spawn sched (fun () ->
+         for _ = 1 to 5 do
+           Sched.step 1
+         done));
+  (match Sched.run sched with
+  | Sched.Only_stalled -> ()
+  | _ -> Alcotest.fail "expected Only_stalled");
+  Alcotest.(check bool) "stalled thread did not run past stall" false !reached;
+  Sched.unstall sched stalled_tid;
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | _ -> Alcotest.fail "expected All_finished after unstall");
+  Alcotest.(check bool) "unstalled thread completed" true !reached
+
+let test_budget () =
+  let sched = Sched.create () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         while true do
+           Sched.step 1
+         done));
+  match Sched.run ~budget:100 sched with
+  | Sched.Budget_exhausted ->
+      Alcotest.(check bool) "clock advanced to budget" true
+        (Sched.now sched >= 100)
+  | _ -> Alcotest.fail "expected Budget_exhausted"
+
+let test_self_ids () =
+  let seen = Array.make 6 false in
+  ignore
+    (Test_support.run_threads ~threads:6 (fun tid ->
+         Alcotest.(check int) "self matches spawn id" tid (Sched.self ());
+         seen.(tid) <- true));
+  Alcotest.(check bool) "all tids ran" true (Array.for_all Fun.id seen)
+
+let test_outside_scheduler_noops () =
+  (* Cells must work as plain sequential cells outside any scheduler. *)
+  let c = Cell.make 1 in
+  Cell.set c 2;
+  Alcotest.(check int) "plain get/set" 2 (Cell.get c);
+  Alcotest.(check bool) "plain cas" true (Cell.compare_and_set c 2 3);
+  Alcotest.(check int) "plain faa" 3 (Cell.fetch_and_add c 5);
+  Alcotest.(check int) "faa applied" 8 (Cell.get c)
+
+let suite =
+  [
+    Alcotest.test_case "runs-to-completion" `Quick test_runs_to_completion;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "interleaving-is-real" `Quick test_interleaving_is_real;
+    Alcotest.test_case "cas-never-loses" `Quick test_cas_never_loses;
+    Alcotest.test_case "faa-atomic" `Quick test_faa_atomic;
+    Alcotest.test_case "stall-unstall" `Quick test_stall_and_unstall;
+    Alcotest.test_case "budget" `Quick test_budget;
+    Alcotest.test_case "self-ids" `Quick test_self_ids;
+    Alcotest.test_case "outside-scheduler" `Quick test_outside_scheduler_noops;
+  ]

@@ -1,0 +1,208 @@
+(** Targeted unit tests for individual scheme mechanisms, pinning down the
+    behaviours the workload tests only exercise in aggregate: epoch
+    advancement and blocking, hazard-pointer protection, era intervals,
+    and the dwCAS head-tuple protocol. *)
+
+module Sched = Smr_runtime.Scheduler
+module Sim = Smr_runtime.Sim_runtime
+open Test_support
+
+(* ---- EBR: a reservation blocks exactly the nodes retired at or after
+   it; leaving unblocks. *)
+let test_ebr_blocking () =
+  let cfg = { (test_cfg ~threads:2) with batch_size = 1 } in
+  run_solo (fun () ->
+      let t = Ebr.create cfg in
+      (* Thread 0 retires a node while itself holding the only guard:
+         its own reservation pins the node. *)
+      let g = Ebr.enter t in
+      let n = Ebr.alloc t 0 in
+      Ebr.retire t g n;
+      Ebr.flush t;
+      Alcotest.(check int) "own reservation pins" 1
+        (Smr.Smr_intf.unreclaimed (Ebr.stats t));
+      Ebr.leave t g;
+      Ebr.flush t;
+      Alcotest.(check int) "free after leave" 0
+        (Smr.Smr_intf.unreclaimed (Ebr.stats t)))
+
+(* ---- HP: a published hazard pins exactly the hazarded node. *)
+let test_hp_hazard_pins () =
+  let cfg = { (test_cfg ~threads:2) with batch_size = 1 } in
+  run_solo (fun () ->
+      let t = Hp.create cfg in
+      let protected_node = Hp.alloc t 1 in
+      let cell = Sim.Atomic.make (Some protected_node) in
+      let g_reader = Hp.enter t in
+      let got =
+        Hp.protect t g_reader ~idx:0
+          ~read:(fun () -> Sim.Atomic.get cell)
+          ~target:(fun o -> o)
+      in
+      Alcotest.(check bool) "protect returns the node" true
+        (Test_support.phys_opt got (Some protected_node));
+      (* A second guard retires both the hazarded node and another one. *)
+      let g_writer = Hp.enter t in
+      let other = Hp.alloc t 2 in
+      Hp.retire t g_writer protected_node;
+      Hp.retire t g_writer other;
+      Hp.flush t;
+      Alcotest.(check int) "only the hazarded node survives the scan" 1
+        (Smr.Smr_intf.unreclaimed (Hp.stats t));
+      Alcotest.(check int) "the hazarded node is alive" 1
+        (Hp.data protected_node);
+      Hp.leave t g_reader;
+      Hp.leave t g_writer;
+      Hp.flush t;
+      Alcotest.(check int) "released after hazard cleared" 0
+        (Smr.Smr_intf.unreclaimed (Hp.stats t)))
+
+(* ---- HP: protect re-reads until the source is stable. *)
+let test_hp_protect_validates () =
+  let cfg = test_cfg ~threads:2 in
+  run_solo (fun () ->
+      let t = Hp.create cfg in
+      let a = Hp.alloc t 10 and b = Hp.alloc t 20 in
+      let cell = Sim.Atomic.make (Some a) in
+      let g = Hp.enter t in
+      let flips = ref 0 in
+      (* The source flips once mid-protect; the result must be the value
+         of a stable re-read, i.e. [b]. *)
+      let got =
+        Hp.protect t g ~idx:0
+          ~read:(fun () ->
+            incr flips;
+            if !flips = 1 then Sim.Atomic.get cell
+            else begin
+              if !flips = 2 then Sim.Atomic.set cell (Some b);
+              Sim.Atomic.get cell
+            end)
+          ~target:(fun o -> o)
+      in
+      Alcotest.(check int) "validated value is the stable one" 20
+        (match got with Some n -> Hp.data n | None -> -1);
+      Hp.leave t g)
+
+(* ---- IBR: nodes with lifespans disjoint from every reservation are
+   freed even while a thread is active. *)
+let test_ibr_interval_disjoint () =
+  let cfg = { (test_cfg ~threads:2) with batch_size = 1; era_freq = 1 } in
+  run_solo (fun () ->
+      let t = Ibr.create cfg in
+      (* Old node: born in era e0, retired in era e0. *)
+      let g0 = Ibr.enter t in
+      let old_node = Ibr.alloc t 0 in
+      Ibr.retire t g0 old_node;
+      Ibr.leave t g0;
+      (* Era advances with each allocation (freq = 1); a fresh guard's
+         interval starts past the old node's lifespan. *)
+      let _bump1 = Ibr.alloc t 0 in
+      let _bump2 = Ibr.alloc t 0 in
+      let g1 = Ibr.enter t in
+      Ibr.flush t;
+      Alcotest.(check int) "disjoint-lifespan node freed under active guard"
+        0
+        (Smr.Smr_intf.unreclaimed (Ibr.stats t));
+      Ibr.leave t g1)
+
+(* ---- HE: era reservation pins the spanned lifespan. *)
+let test_he_reservation_pins () =
+  let cfg = { (test_cfg ~threads:2) with batch_size = 1; era_freq = 1 } in
+  run_solo (fun () ->
+      let t = He.create cfg in
+      let n = He.alloc t 7 in
+      let cell = Sim.Atomic.make (Some n) in
+      let g_reader = He.enter t in
+      ignore
+        (He.protect t g_reader ~idx:0
+           ~read:(fun () -> Sim.Atomic.get cell)
+           ~target:(fun o -> o));
+      let g_writer = He.enter t in
+      He.retire t g_writer n;
+      He.flush t;
+      Alcotest.(check int) "reserved era pins the node" 1
+        (Smr.Smr_intf.unreclaimed (He.stats t));
+      He.leave t g_reader;
+      He.flush t;
+      Alcotest.(check int) "freed once the era reservation clears" 0
+        (Smr.Smr_intf.unreclaimed (He.stats t));
+      He.leave t g_writer)
+
+(* ---- dwCAS head tuple protocol. *)
+module Head = Hyaline_core.Head_dwcas.Make (Sim)
+
+let test_head_dwcas_protocol () =
+  run_solo (fun () ->
+      let h = Head.make () in
+      let v0 = Head.load h in
+      Alcotest.(check int) "initial href" 0 v0.Hyaline_core.Head_intf.href;
+      let pre = Head.enter_faa h in
+      Alcotest.(check int) "faa old" 0 pre.Hyaline_core.Head_intf.href;
+      let pre2 = Head.enter_faa h in
+      Alcotest.(check int) "faa old 2" 1 pre2.Hyaline_core.Head_intf.href;
+      (* Stale insert must fail; fresh one succeeds. *)
+      let fresh = Head.load h in
+      Alcotest.(check bool) "stale view rejected" false
+        (Head.try_insert h ~seen:v0 ~first:42);
+      Alcotest.(check bool) "fresh view accepted" true
+        (Head.try_insert h ~seen:fresh ~first:42);
+      (* Two leaves: the second one detaches. *)
+      let v = Head.load h in
+      (match Head.try_leave h ~seen:v with
+      | `Left detached ->
+          Alcotest.(check bool) "not last: no detach" false detached
+      | `Fail -> Alcotest.fail "fresh leave must succeed");
+      let v = Head.load h in
+      (match Head.try_leave h ~seen:v with
+      | `Left detached ->
+          Alcotest.(check bool) "last leave detaches" true detached
+      | `Fail -> Alcotest.fail "fresh leave must succeed");
+      let final = Head.load h in
+      Alcotest.(check bool) "list detached" true
+        (final.Hyaline_core.Head_intf.hptr = None);
+      Alcotest.(check int) "href zero" 0 final.href)
+
+(* ---- Leaky protect is the identity on reads. *)
+let test_leaky_protect_identity () =
+  run_solo (fun () ->
+      let t = Leaky.create (test_cfg ~threads:1) in
+      let n = Leaky.alloc t 5 in
+      let g = Leaky.enter t in
+      let got =
+        Leaky.protect t g ~idx:0 ~read:(fun () -> Some n) ~target:(fun o -> o)
+      in
+      Alcotest.(check int) "identity read" 5
+        (match got with Some n -> Leaky.data n | None -> -1);
+      Leaky.leave t g)
+
+(* ---- The auditor itself: double retire and use-after-free raise. *)
+let test_auditor_detects_misuse () =
+  run_solo (fun () ->
+      let t = Ebr.create { (test_cfg ~threads:1) with batch_size = 1 } in
+      let g = Ebr.enter t in
+      let n = Ebr.alloc t 3 in
+      Ebr.retire t g n;
+      (match Ebr.retire t g n with
+      | () -> Alcotest.fail "double retire must raise"
+      | exception Invalid_argument _ -> ());
+      Ebr.leave t g;
+      Ebr.flush t;
+      (* n is freed now: data must raise Use_after_free *)
+      match Ebr.data n with
+      | _ -> Alcotest.fail "use-after-free must raise"
+      | exception Smr.Smr_intf.Use_after_free _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "ebr-blocking" `Quick test_ebr_blocking;
+    Alcotest.test_case "hp-hazard-pins" `Quick test_hp_hazard_pins;
+    Alcotest.test_case "hp-protect-validates" `Quick test_hp_protect_validates;
+    Alcotest.test_case "ibr-interval-disjoint" `Quick
+      test_ibr_interval_disjoint;
+    Alcotest.test_case "he-reservation-pins" `Quick test_he_reservation_pins;
+    Alcotest.test_case "head-dwcas-protocol" `Quick test_head_dwcas_protocol;
+    Alcotest.test_case "leaky-protect-identity" `Quick
+      test_leaky_protect_identity;
+    Alcotest.test_case "auditor-detects-misuse" `Quick
+      test_auditor_detects_misuse;
+  ]

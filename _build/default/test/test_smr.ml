@@ -1,0 +1,100 @@
+(** Scheme-generic SMR tests, run against all eleven instantiations: the
+    lifecycle auditor turns any reclamation bug into an exception, so a
+    passing concurrent workload is a real safety statement. *)
+
+module Sched = Smr_runtime.Scheduler
+open Test_support
+
+module Make (S : SMR) = struct
+  module Stack = Smr_ds.Treiber_stack.Make (S)
+
+  (* Mixed push/pop traffic; every node passes through retire. *)
+  let stack_workload ~seed ~threads ~ops =
+    let cfg = test_cfg ~threads in
+    let stack = Stack.create cfg in
+    let sched = Sched.create ~seed () in
+    for tid = 0 to threads - 1 do
+      ignore
+        (Sched.spawn sched (fun () ->
+             let rng = Random.State.make [| seed; tid |] in
+             for i = 1 to ops do
+               if Random.State.bool rng then Stack.push stack ((tid * ops) + i)
+               else ignore (Stack.pop stack)
+             done))
+    done;
+    (match Sched.run sched with
+    | Sched.All_finished -> ()
+    | _ -> Alcotest.fail "workload did not finish");
+    stack
+
+  let test_safety_many_seeds () =
+    (* The assertion is the absence of Use_after_free / Double_free across
+       many distinct interleavings. *)
+    for seed = 1 to 10 do
+      ignore (stack_workload ~seed ~threads:8 ~ops:120)
+    done
+
+  let test_quiescent_reclamation () =
+    let stack = stack_workload ~seed:3 ~threads:6 ~ops:200 in
+    (* Drain the stack so every node is retired, then flush thread-local
+       state at quiescence. *)
+    run_solo (fun () ->
+        let rec drain () =
+          match Stack.pop stack with Some _ -> drain () | None -> ()
+        in
+        drain ());
+    Stack.flush stack;
+    check_no_leak S.scheme_name (Stack.stats stack)
+
+  let test_stats_consistent () =
+    let stack = stack_workload ~seed:9 ~threads:4 ~ops:100 in
+    let s = Stack.stats stack in
+    Alcotest.(check bool) "retired <= allocated" true (s.retired <= s.allocated);
+    Alcotest.(check bool) "freed <= retired" true (s.freed <= s.retired)
+
+  let test_guard_reuse_refresh () =
+    (* refresh (trim for Hyaline) between operations under one bracket. *)
+    run_solo (fun () ->
+        let cfg = test_cfg ~threads:1 in
+        let stack = Stack.create cfg in
+        let g = ref (Stack.enter stack) in
+        for i = 1 to 100 do
+          Stack.push_with stack !g i;
+          ignore (Stack.pop_with stack !g);
+          g := Stack.S.refresh stack.Stack.smr !g
+        done;
+        Stack.leave stack !g);
+    ()
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ ":safety-many-seeds") `Quick
+        test_safety_many_seeds;
+      Alcotest.test_case (name ^ ":quiescent-reclamation") `Quick
+        test_quiescent_reclamation;
+      Alcotest.test_case (name ^ ":stats-consistent") `Quick
+        test_stats_consistent;
+      Alcotest.test_case (name ^ ":refresh") `Quick test_guard_reuse_refresh;
+    ]
+end
+
+let suite =
+  let reclaiming =
+    List.concat_map
+      (fun (name, (module S : SMR)) ->
+        let module T = Make (S) in
+        T.suite name)
+      reclaiming_schemes
+  in
+  let leaky =
+    let module T = Make (Leaky) in
+    [
+      Alcotest.test_case "leaky:safety-many-seeds" `Quick
+        T.test_safety_many_seeds;
+      Alcotest.test_case "leaky:never-frees" `Quick (fun () ->
+          let stack = T.stack_workload ~seed:5 ~threads:4 ~ops:100 in
+          let s = T.Stack.stats stack in
+          Alcotest.(check int) "leaky frees nothing" 0 s.freed);
+    ]
+  in
+  reclaiming @ leaky

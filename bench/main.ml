@@ -9,7 +9,7 @@
 
     Usage: [main.exe [section ...] [--full]] where section is one of
     [micro fig8 fig10a fig10b fig11 fig13 fig15 table1 ablation
-    sensitivity breakdown all]
+    sensitivity breakdown metrics all]
     (default: all, quick scale). *)
 
 module Figures = Smr_harness.Figures
@@ -164,20 +164,40 @@ let ablation ppf ~scale =
    figure. *)
 let breakdown ppf ~scale =
   Fmt.pf ppf "# Atomic ops per hash-map operation (write-heavy, 9 threads)@.@.";
-  Fmt.pf ppf "%-12s %8s %8s %8s %8s %8s %8s %8s@." "scheme" "reads" "writes"
-    "plain-w" "cas-ok" "cas-fail" "faa" "swap";
+  Fmt.pf ppf "%-12s %8s %8s %8s %8s %8s %8s %8s %9s@." "scheme" "reads"
+    "writes" "plain-w" "cas-ok" "cas-fail" "faa" "swap" "cost/op";
   List.iter
     (fun (name, scheme) ->
-      Smr_runtime.Sim_cell.reset_counts ();
       let r =
         Figures.run_point ~ds:Registry.Hashmap ~scale
           ~mix:Workload.write_heavy scheme 9
       in
-      let c = Smr_runtime.Sim_cell.counts in
+      (* [Workload.run] already scopes the per-class counters to the
+         measured phase — no global reset needed, so concurrent callers
+         and the prefill phase can no longer pollute the numbers. *)
+      let c = r.op_costs in
       let per x = float_of_int x /. float_of_int (max 1 r.ops) in
-      Fmt.pf ppf "%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f@." name
-        (per c.reads) (per c.writes) (per c.plain_writes) (per c.cas_ok)
-        (per c.cas_fail) (per c.faas) (per c.swaps))
+      Fmt.pf ppf "%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %9.1f@."
+        name (per c.reads) (per c.writes) (per c.plain_writes) (per c.cas_ok)
+        (per c.cas_fail) (per c.faas) (per c.swaps)
+        (per (Smr_runtime.Sim_cell.total_cost c)))
+    (Registry.all_schemes Registry.X86);
+  Fmt.pf ppf "@."
+
+(* ---- Scheme-internal metrics ------------------------------------------- *)
+
+(* The scheme-specific series from [Smr.Metrics]: why a scheme behaves the
+   way it does — batches sealed and CAS retries for Hyaline, scan counts
+   for the pointer/era schemes, epoch advances for EBR. *)
+let metrics_section ppf ~scale =
+  Fmt.pf ppf "# Scheme metrics (hash map, write-heavy, 9 threads)@.@.";
+  List.iter
+    (fun (_, scheme) ->
+      let r =
+        Figures.run_point ~ds:Registry.Hashmap ~scale
+          ~mix:Workload.write_heavy scheme 9
+      in
+      Fmt.pf ppf "%a@." Smr.Metrics.pp r.Workload.metrics)
     (Registry.all_schemes Registry.X86);
   Fmt.pf ppf "@."
 
@@ -250,4 +270,5 @@ let () =
   if want "fig15" then Figures.fig15_16 ppf ~scale;
   if want "ablation" then ablation ppf ~scale;
   if want "sensitivity" then sensitivity ppf ~scale;
-  if want "breakdown" then breakdown ppf ~scale
+  if want "breakdown" then breakdown ppf ~scale;
+  if want "metrics" then metrics_section ppf ~scale

@@ -63,11 +63,83 @@ let point_cmd =
     in
     Fmt.pr "ops=%d steps=%d throughput=%.3f avg_unreclaimed=%.1f@." r.ops
       r.steps r.throughput r.avg_unreclaimed;
-    Fmt.pr "final: %a@." Smr.Smr_intf.pp_stats r.final
+    Fmt.pr "final: %a@." Smr.Smr_intf.pp_stats r.final;
+    let h = r.latency in
+    Fmt.pr "latency (cost units): mean=%.1f p50=%d p99=%d max=%d@."
+      (Smr_harness.Histogram.mean h)
+      (Smr_harness.Histogram.percentile h 50)
+      (Smr_harness.Histogram.percentile h 99)
+      h.Smr_harness.Histogram.max;
+    let c = r.op_costs in
+    Fmt.pr
+      "op costs: read=%d write=%d plain=%d cas=%d faa=%d swap=%d (total %d)@."
+      c.read_cost c.write_cost c.plain_write_cost c.cas_cost c.faa_cost
+      c.swap_cost
+      (Smr_runtime.Sim_cell.total_cost c);
+    Fmt.pr "metrics: %a@." Smr.Metrics.pp r.metrics
   in
   Cmd.v (Cmd.info "point" ~doc)
     Term.(
       const run $ ds $ scheme $ threads $ stalled $ reads $ scale_term)
+
+let bench_cmd =
+  let doc =
+    "Sweep schemes x structures x thread counts and write BENCH_<name>.json \
+     — the repo's canonical machine-readable perf artifact."
+  in
+  let ds_conv =
+    Arg.enum
+      [
+        ("list", Smr_harness.Registry.Hm_list);
+        ("hashmap", Smr_harness.Registry.Hashmap);
+        ("nm-tree", Smr_harness.Registry.Nm_tree);
+        ("bonsai", Smr_harness.Registry.Bonsai);
+      ]
+  in
+  let name_t =
+    Arg.(
+      value & opt string "quick"
+      & info [ "n"; "name" ] ~doc:"Report name (file is BENCH_<name>.json).")
+  in
+  let structures =
+    Arg.(
+      value
+      & opt_all ds_conv [ Smr_harness.Registry.Hashmap ]
+      & info [ "d"; "ds" ] ~doc:"Structures to sweep (repeatable).")
+  in
+  let thread_counts =
+    Arg.(
+      value & opt_all int [ 2; 8 ]
+      & info [ "t"; "threads" ] ~doc:"Thread counts to sweep (repeatable).")
+  in
+  let dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output-dir" ] ~doc:"Directory for the report file.")
+  in
+  let run name structures thread_counts dir scale =
+    let report =
+      Smr_harness.Report.collect ~name ~arch:Smr_harness.Registry.X86 ~scale
+        ~structures ~thread_counts
+    in
+    let path = Smr_harness.Report.write ?dir report in
+    (* Self-check: re-read the artifact, parse it against the schema, and
+       assert it covers the full registry — CI keys off this. *)
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let parsed = Smr_harness.Report.parse (Smr_harness.Json.of_string text) in
+    match Smr_harness.Report.validate parsed with
+    | Ok () ->
+        Fmt.pr "wrote %s: %d runs, schema ok, all schemes covered@." path
+          (List.length parsed.Smr_harness.Report.p_points)
+    | Error msg ->
+        Fmt.epr "invalid report %s: %s@." path msg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ name_t $ structures $ thread_counts $ dir $ scale_term)
 
 let () =
   let open Smr_harness.Figures in
@@ -82,6 +154,7 @@ let () =
       Cmd.v (Cmd.info "table1" ~doc:"Table 1: scheme comparison.")
         Term.(const (fun () -> table1 Fmt.stdout) $ const ());
       point_cmd;
+      bench_cmd;
     ]
   in
   let info =

@@ -41,14 +41,17 @@ let run (module S : Smr.Smr_intf.SMR) =
            done))
   done;
   ignore (Sched.run ~budget:300_000 sched);
-  Map.stats map
+  Map.metrics map
 
 let () =
   Fmt.pr "%-12s %s@." "scheme" "after 300k cost units with 1 stalled thread";
   List.iter
     (fun (name, s) ->
-      let stats = run s in
-      Fmt.pr "%-12s %a@." name Smr.Smr_intf.pp_stats stats)
+      let m = run s in
+      Fmt.pr "%-12s %a@." name Smr.Smr_intf.pp_stats (Smr.Metrics.to_stats m);
+      Fmt.pr "%-12s   peak unreclaimed %d%a@." "" m.Smr.Metrics.peak_unreclaimed
+        (Fmt.option (fun ppf n -> Fmt.pf ppf ", %d batches sealed" n))
+        (Smr.Metrics.series_value m "batches_sealed"))
     [
       ("Hyaline", (module Hyaline_core.Hyaline.Make (Sim)
                     : Smr.Smr_intf.SMR));

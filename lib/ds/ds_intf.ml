@@ -33,6 +33,9 @@ module type CONC_SET = sig
   (** Quiescence-only: drain scheme-local pending reclamation. *)
 
   val stats : t -> Smr.Smr_intf.stats
+
+  val metrics : t -> Smr.Metrics.snapshot
+  (** Full metrics view of the underlying scheme (see {!Smr.Metrics}). *)
 end
 
 let same_opt a b =

@@ -62,4 +62,5 @@ module Make (S : Smr.Smr_intf.SMR) = struct
 
   let flush t = S.flush t.smr
   let stats t = S.stats t.smr
+  let metrics t = S.metrics t.smr
 end

@@ -1,0 +1,73 @@
+(** Fixed-bucket latency histograms over simulated cost units.
+
+    Buckets are power-of-two: bucket [i] counts samples in
+    [2{^i-1}, 2{^i}) (bucket 0 holds 0 and 1), with the last bucket a
+    catch-all. Recording a sample is two plain int updates — no
+    allocation, no simulated cost — so per-op latency capture never
+    perturbs the workload being measured. *)
+
+let num_buckets = 24
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable max : int;
+}
+
+let create () = { buckets = Array.make num_buckets 0; count = 0; sum = 0; max = 0 }
+
+(* Index of the highest set bit, i.e. bits needed to represent [v]. *)
+let bucket_of v =
+  let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+  min (num_buckets - 1) (bits 0 v)
+
+let add h v =
+  let v = max v 0 in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v > h.max then h.max <- v
+
+let merge into from =
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) from.buckets;
+  into.count <- into.count + from.count;
+  into.sum <- into.sum + from.sum;
+  if from.max > into.max then into.max <- from.max
+
+let count h = h.count
+let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+
+(* Upper bound of the bucket containing the [p]-th percentile (p in 0-100):
+   a conservative latency quantile in cost units. *)
+let percentile h p =
+  if h.count = 0 then 0
+  else begin
+    let rank =
+      int_of_float (ceil (float_of_int h.count *. float_of_int p /. 100.0))
+    in
+    let rank = max 1 (min rank h.count) in
+    let rec go i seen =
+      let seen = seen + h.buckets.(i) in
+      if seen >= rank || i = num_buckets - 1 then
+        if i = 0 then 1 else 1 lsl i
+      else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+(* Bucket upper bounds, parallel to [buckets]; the last is [max_int] in
+   spirit but reported as the previous bound doubled for JSON friendliness. *)
+let bounds () = Array.init num_buckets (fun i -> if i = 0 then 1 else 1 lsl i)
+
+let to_list h = Array.to_list h.buckets
+
+let of_list l =
+  if List.length l <> num_buckets then invalid_arg "Histogram.of_list";
+  let h = create () in
+  List.iteri
+    (fun i n ->
+      h.buckets.(i) <- n;
+      h.count <- h.count + n)
+    l;
+  h

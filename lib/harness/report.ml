@@ -1,0 +1,235 @@
+(** Machine-readable benchmark reports: the repo's canonical perf artifact.
+
+    [collect] sweeps schemes × structures × thread counts on the simulated
+    runtime and [write] emits a [BENCH_<name>.json] file. Every run record
+    carries the headline numbers (throughput, avg/peak unreclaimed), the
+    per-op-class simulated-cost breakdown from {!Smr_runtime.Sim_cell},
+    the per-op latency histogram, the lifecycle counters with their
+    peak-unreclaimed high-water mark, and the scheme-specific series from
+    {!Smr.Metrics} — enough to ask {e why} a scheme wins, not just whether.
+
+    [parse]/[validate] are the inverse side: they type-check a report
+    against the schema (see DESIGN.md §6) so CI can assert that the
+    artifact stays well-formed and covers every registered scheme. *)
+
+let schema_version = 1
+
+type point = {
+  scheme : string;
+  structure : string;
+  threads : int;
+  r : Workload.result;
+}
+
+type t = { name : string; arch : Registry.arch; points : point list }
+
+let arch_name = function Registry.X86 -> "x86" | Registry.Ppc -> "ppc"
+
+let structure_key = function
+  | Registry.Hm_list -> "list"
+  | Registry.Hashmap -> "hashmap"
+  | Registry.Nm_tree -> "nm-tree"
+  | Registry.Bonsai -> "bonsai"
+
+(* -- JSON emission ------------------------------------------------------- *)
+
+let op_costs_json (c : Smr_runtime.Sim_cell.op_counts) =
+  let cls count cost = Json.Obj [ ("count", Json.Int count); ("cost", Json.Int cost) ] in
+  Json.Obj
+    [
+      ("read", cls c.reads c.read_cost);
+      ("write", cls c.writes c.write_cost);
+      ("plain_write", cls c.plain_writes c.plain_write_cost);
+      ("cas_ok", cls c.cas_ok 0);
+      ("cas_fail", cls c.cas_fail 0);
+      ("cas", cls (c.cas_ok + c.cas_fail) c.cas_cost);
+      ("faa", cls c.faas c.faa_cost);
+      ("swap", cls c.swaps c.swap_cost);
+      ("total_cost", Json.Int (Smr_runtime.Sim_cell.total_cost c));
+    ]
+
+let latency_json (h : Histogram.t) =
+  Json.Obj
+    [
+      ( "bucket_upper_bounds",
+        Json.List
+          (Array.to_list (Array.map (fun b -> Json.Int b) (Histogram.bounds ())))
+      );
+      ( "buckets",
+        Json.List (List.map (fun n -> Json.Int n) (Histogram.to_list h)) );
+      ("count", Json.Int (Histogram.count h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("p50", Json.Int (Histogram.percentile h 50));
+      ("p99", Json.Int (Histogram.percentile h 99));
+      ("max", Json.Int h.Histogram.max);
+    ]
+
+let point_json (p : point) =
+  let m = p.r.Workload.metrics in
+  Json.Obj
+    [
+      ("scheme", Json.String p.scheme);
+      ("structure", Json.String p.structure);
+      ("threads", Json.Int p.threads);
+      ("ops", Json.Int p.r.Workload.ops);
+      ("steps", Json.Int p.r.Workload.steps);
+      ("throughput", Json.Float p.r.Workload.throughput);
+      ("avg_unreclaimed", Json.Float p.r.Workload.avg_unreclaimed);
+      ("peak_unreclaimed", Json.Int p.r.Workload.peak_unreclaimed);
+      ( "lifecycle",
+        Json.Obj
+          [
+            ("allocated", Json.Int m.Smr.Metrics.allocated);
+            ("retired", Json.Int m.Smr.Metrics.retired);
+            ("freed", Json.Int m.Smr.Metrics.freed);
+            ("peak_unreclaimed", Json.Int m.Smr.Metrics.peak_unreclaimed);
+          ] );
+      ("op_costs", op_costs_json p.r.Workload.op_costs);
+      ("latency", latency_json p.r.Workload.latency);
+      ( "series",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("name", Json.String t.name);
+      ("paper", Json.String "Hyaline (PODC 2019)");
+      ("arch", Json.String (arch_name t.arch));
+      ("runs", Json.List (List.map point_json t.points));
+    ]
+
+(* -- parsing / validation ------------------------------------------------ *)
+
+(** Typed view of one parsed run record — what CI and downstream tooling
+    rely on; [parse] raises {!Json.Parse_error} on any schema violation. *)
+type parsed_point = {
+  p_scheme : string;
+  p_structure : string;
+  p_threads : int;
+  p_ops : int;
+  p_steps : int;
+  p_throughput : float;
+  p_avg_unreclaimed : float;
+  p_peak_unreclaimed : int;
+  p_lifecycle : Smr.Metrics.stats;
+  p_lifecycle_peak : int;
+  p_total_cost : int;
+  p_series : (string * int) list;
+}
+
+type parsed = {
+  p_name : string;
+  p_arch : string;
+  p_points : parsed_point list;
+}
+
+let parse_point j =
+  let open Json in
+  let life = member_exn "lifecycle" j in
+  let costs = member_exn "op_costs" j in
+  let latency = member_exn "latency" j in
+  (* The histogram must be structurally sound even though the typed view
+     only keeps scalars. *)
+  let buckets = to_list (member_exn "buckets" latency) in
+  if List.length buckets <> Histogram.num_buckets then
+    raise (Parse_error "latency.buckets: wrong bucket count");
+  ignore (to_int (member_exn "count" latency));
+  ignore (to_float (member_exn "mean" latency));
+  (* Every op class must be a {count, cost} pair. *)
+  List.iter
+    (fun cls ->
+      let c = member_exn cls costs in
+      ignore (to_int (member_exn "count" c));
+      ignore (to_int (member_exn "cost" c)))
+    [ "read"; "write"; "plain_write"; "cas"; "faa"; "swap" ];
+  {
+    p_scheme = to_str (member_exn "scheme" j);
+    p_structure = to_str (member_exn "structure" j);
+    p_threads = to_int (member_exn "threads" j);
+    p_ops = to_int (member_exn "ops" j);
+    p_steps = to_int (member_exn "steps" j);
+    p_throughput = to_float (member_exn "throughput" j);
+    p_avg_unreclaimed = to_float (member_exn "avg_unreclaimed" j);
+    p_peak_unreclaimed = to_int (member_exn "peak_unreclaimed" j);
+    p_lifecycle =
+      {
+        Smr.Metrics.allocated = to_int (member_exn "allocated" life);
+        retired = to_int (member_exn "retired" life);
+        freed = to_int (member_exn "freed" life);
+      };
+    p_lifecycle_peak = to_int (member_exn "peak_unreclaimed" life);
+    p_total_cost = to_int (member_exn "total_cost" costs);
+    p_series =
+      List.map (fun (k, v) -> (k, to_int v)) (to_obj (member_exn "series" j));
+  }
+
+let parse j =
+  let open Json in
+  let v = to_int (member_exn "schema_version" j) in
+  if v <> schema_version then
+    raise (Parse_error (Printf.sprintf "unsupported schema_version %d" v));
+  {
+    p_name = to_str (member_exn "name" j);
+    p_arch = to_str (member_exn "arch" j);
+    p_points = List.map parse_point (to_list (member_exn "runs" j));
+  }
+
+(** Check that the parsed report covers every scheme in [schemes] (default:
+    the full x86 registry) and that each covered run carries at least one
+    scheme-specific series counter. *)
+let validate ?schemes parsed =
+  let required =
+    match schemes with
+    | Some s -> s
+    | None -> List.map fst (Registry.all_schemes Registry.X86)
+  in
+  let covered name =
+    List.exists (fun p -> String.equal p.p_scheme name) parsed.p_points
+  in
+  let missing = List.filter (fun s -> not (covered s)) required in
+  if missing <> [] then
+    Error ("schemes missing from report: " ^ String.concat ", " missing)
+  else
+    match List.find_opt (fun p -> p.p_series = []) parsed.p_points with
+    | Some p -> Error (p.p_scheme ^ ": empty scheme-specific series")
+    | None -> Ok ()
+
+(* -- collection ---------------------------------------------------------- *)
+
+(** Sweep [schemes_for structure arch] × [structures] × [thread_counts].
+    Budgets come from the {!Figures} presets at the given scale. *)
+let collect ~name ~arch ~scale ~structures ~thread_counts =
+  let points =
+    List.concat_map
+      (fun ds ->
+        List.concat_map
+          (fun (scheme_name, scheme) ->
+            List.map
+              (fun threads ->
+                {
+                  scheme = scheme_name;
+                  structure = structure_key ds;
+                  threads;
+                  r = Figures.run_point ~ds ~scale ~mix:Workload.write_heavy
+                        scheme threads;
+                })
+              thread_counts)
+          (Registry.schemes_for ds arch))
+      structures
+  in
+  { name; arch; points }
+
+let filename t = "BENCH_" ^ t.name ^ ".json"
+
+let write ?dir t =
+  let path =
+    match dir with Some d -> Filename.concat d (filename t) | None -> filename t
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_json t)));
+  path

@@ -4,6 +4,15 @@
     Fig. 9/10 metric — the average number of retired-but-unreclaimed
     objects sampled at every operation.
 
+    Beyond the headline numbers each run collects, at zero simulated cost:
+    per-op latencies (cost units per bracketed operation) in a fixed-bucket
+    {!Histogram}, the per-op-class cost breakdown from {!Sim_cell} (how
+    much of the budget went to loads vs stores vs CAS vs FAA), and the
+    scheme's full {!Smr.Metrics.snapshot} including its peak-unreclaimed
+    high-water mark. None of this perturbs the simulation: for a fixed
+    [(spec, seed)] the schedule, op count and consumed steps are
+    bit-identical to an uninstrumented run.
+
     Everything runs on the deterministic scheduler, so a (spec, seed) pair
     is exactly reproducible. *)
 
@@ -55,10 +64,24 @@ type result = {
   steps : int;  (** cost units consumed by the measured phase *)
   throughput : float;  (** operations per 1000 cost units *)
   avg_unreclaimed : float;  (** mean over per-op samples of retired-freed *)
+  peak_unreclaimed : int;
+      (** largest per-op unreclaimed sample seen during the measured phase
+          (the scheme's lifetime high-water mark is in [metrics]) *)
   final : Smr.Smr_intf.stats;
+  metrics : Smr.Metrics.snapshot;  (** final scheme metrics snapshot *)
+  latency : Histogram.t;  (** per-op latencies (cost units), all threads *)
+  op_costs : Smr_runtime.Sim_cell.op_counts;
+      (** atomic ops and their simulated cost charged during the measured
+          phase, by operation class *)
 }
 
 let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
+  if spec.prefill > spec.key_range then
+    invalid_arg
+      (Fmt.str
+         "Workload.run: prefill (%d) exceeds key_range (%d) — the prefill \
+          loop could never terminate"
+         spec.prefill spec.key_range);
   let set = D.create ~buckets:spec.buckets spec.cfg in
   let sched = Sched.create ~seed:spec.seed () in
   (* Phase 1: prefill from a single simulated thread (tid 0, reused by
@@ -76,8 +99,11 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   | Sched.Budget_exhausted | Sched.Only_stalled ->
       invalid_arg "Workload.run: prefill did not finish");
   let steps0 = Sched.now sched in
+  let counts0 = Smr_runtime.Sim_cell.snapshot_counts () in
   let ops = Array.make spec.threads 0 in
+  let latencies = Array.init spec.threads (fun _ -> Histogram.create ()) in
   let unreclaimed_sum = ref 0.0 in
+  let unreclaimed_peak = ref 0 in
   let samples = ref 0 in
   let one_op rng g =
     if spec.op_body > 0 then Sched.step spec.op_body;
@@ -87,8 +113,9 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
      else if dice land 1 = 0 then ignore (D.insert_with set g key)
      else ignore (D.remove_with set g key));
     let s = D.stats set in
-    unreclaimed_sum :=
-      !unreclaimed_sum +. float_of_int (Smr.Smr_intf.unreclaimed s);
+    let u = Smr.Smr_intf.unreclaimed s in
+    if u > !unreclaimed_peak then unreclaimed_peak := u;
+    unreclaimed_sum := !unreclaimed_sum +. float_of_int u;
     incr samples
   in
   let worker tid () =
@@ -96,16 +123,20 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
     if spec.use_trim then begin
       let g = ref (D.enter set) in
       while true do
+        let t0 = Sched.now sched in
         one_op rng !g;
         ops.(tid) <- ops.(tid) + 1;
-        g := D.refresh set !g
+        g := D.refresh set !g;
+        Histogram.add latencies.(tid) (Sched.now sched - t0)
       done
     end
     else
       while true do
+        let t0 = Sched.now sched in
         let g = D.enter set in
         one_op rng g;
         D.leave set g;
+        Histogram.add latencies.(tid) (Sched.now sched - t0);
         ops.(tid) <- ops.(tid) + 1
       done
   in
@@ -126,6 +157,8 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   | Sched.All_finished -> invalid_arg "Workload.run: workers terminated");
   let steps = Sched.now sched - steps0 in
   let total_ops = Array.fold_left ( + ) 0 ops in
+  let latency = Histogram.create () in
+  Array.iter (Histogram.merge latency) latencies;
   {
     ops = total_ops;
     steps;
@@ -135,5 +168,12 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
     avg_unreclaimed =
       (if !samples = 0 then 0.0
        else !unreclaimed_sum /. float_of_int !samples);
+    peak_unreclaimed = !unreclaimed_peak;
     final = D.stats set;
+    metrics = D.metrics set;
+    latency;
+    op_costs =
+      Smr_runtime.Sim_cell.diff_counts
+        ~now:(Smr_runtime.Sim_cell.snapshot_counts ())
+        ~past:counts0;
   }

@@ -38,6 +38,13 @@ struct
     era : int R.Atomic.t;  (* AllocEra *)
     alloc_clock : int Stdlib.Atomic.t;
     pending : 'a pending array;  (* per-thread batch under construction *)
+    (* Metrics (plain atomics, invisible to the cost model). *)
+    m_sealed : Smr.Metrics.Counter.t;
+    m_sealed_nodes : Smr.Metrics.Counter.t;
+    m_trims : Smr.Metrics.Counter.t;
+    m_insert_retries : Smr.Metrics.Counter.t;
+    m_leave_retries : Smr.Metrics.Counter.t;
+    m_slot_grows : Smr.Metrics.Counter.t;
   }
 
   type 'a guard = {
@@ -62,6 +69,12 @@ struct
       era = R.Atomic.make 0;
       alloc_clock = Stdlib.Atomic.make 0;
       pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
+      m_sealed = Smr.Metrics.Counter.make "batches_sealed";
+      m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
+      m_trims = Smr.Metrics.Counter.make "trims";
+      m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
+      m_leave_retries = Smr.Metrics.Counter.make "leave_cas_retries";
+      m_slot_grows = Smr.Metrics.Counter.make "slot_grows";
     }
 
   let current_slots t = Dir.k t.dir
@@ -98,7 +111,11 @@ struct
         else if t.cfg.adaptive then begin
           Dir.grow t.dir ~from:k;
           let k' = Dir.k t.dir in
-          if k' > k then probe k 0 k' else start
+          if k' > k then begin
+            Smr.Metrics.Counter.incr t.m_slot_grows;
+            probe k 0 k'
+          end
+          else start
         end
         else start
       in
@@ -160,7 +177,9 @@ struct
         else None
       in
       match H.try_leave slot.head ~seen with
-      | `Fail -> attempt ()
+      | `Fail ->
+          Smr.Metrics.Counter.incr t.m_leave_retries;
+          attempt ()
       | `Left detached ->
           (* The last thread detached the list: treat the ex-first node as a
              predecessor and grant it its slot's Adjs (Fig. 3 lines 16-17,
@@ -177,6 +196,7 @@ struct
   (* Fig. 3 trim: dereference everything retired since the handle without
      altering Head; the current first node becomes the new handle. *)
   let trim t g =
+    Smr.Metrics.Counter.incr t.m_trims;
     let seen = H.load g.slot.head in
     let curr = seen.hptr in
     if not (B.same_node curr g.handle) then begin
@@ -244,7 +264,10 @@ struct
                   ((B.batch_of pred).adjs + seen.href)
             | None -> ()
           end
-          else attempt ()
+          else begin
+            Smr.Metrics.Counter.incr t.m_insert_retries;
+            attempt ()
+          end
         end
       in
       attempt ()
@@ -264,6 +287,8 @@ struct
     let k = Dir.k t.dir in
     if p.len >= max t.cfg.batch_size (k + 1) then begin
       let nodes = p.nodes in
+      Smr.Metrics.Counter.incr t.m_sealed;
+      Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
       p.nodes <- [];
       p.len <- 0;
       retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
@@ -292,6 +317,8 @@ struct
           p.len <- p.len + 1
         done;
         let nodes = p.nodes in
+        Smr.Metrics.Counter.incr t.m_sealed;
+        Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
         p.nodes <- [];
         p.len <- 0;
         retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
@@ -302,4 +329,18 @@ struct
   let refresh = trim
 
   let stats t = Smr.Lifecycle.stats t.counters
+
+  let metrics t =
+    Smr.Lifecycle.snapshot ~scheme:F.scheme_name
+      ~series:
+        (Smr.Metrics.series_of
+           [
+             t.m_sealed;
+             t.m_sealed_nodes;
+             t.m_trims;
+             t.m_insert_retries;
+             t.m_leave_retries;
+             t.m_slot_grows;
+           ])
+      t.counters
 end

@@ -32,6 +32,11 @@ struct
     era : int R.Atomic.t;
     alloc_clock : int Stdlib.Atomic.t;
     pending : 'a pending array;
+    (* Metrics (plain atomics, invisible to the cost model). *)
+    m_sealed : Smr.Metrics.Counter.t;
+    m_sealed_nodes : Smr.Metrics.Counter.t;
+    m_trims : Smr.Metrics.Counter.t;
+    m_insert_retries : Smr.Metrics.Counter.t;
   }
 
   type 'a guard = { tid : int; handle : 'a B.node option }
@@ -48,6 +53,10 @@ struct
       era = R.Atomic.make 0;
       alloc_clock = Stdlib.Atomic.make 0;
       pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
+      m_sealed = Smr.Metrics.Counter.make "batches_sealed";
+      m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
+      m_trims = Smr.Metrics.Counter.make "trims";
+      m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
     }
 
   let current_slots t = Array.length t.slots
@@ -100,6 +109,7 @@ struct
 
   (* leave + enter fused, keeping the active bit set throughout. *)
   let trim t g =
+    Smr.Metrics.Counter.incr t.m_trims;
     let slot = t.slots.(g.tid) in
     let old = R.Atomic.exchange slot.head { active = true; hptr = None } in
     assert old.active;
@@ -146,7 +156,10 @@ struct
             incr cursor;
             incr inserts
           end
-          else attempt ()
+          else begin
+            Smr.Metrics.Counter.incr t.m_insert_retries;
+            attempt ()
+          end
         end
       in
       attempt ()
@@ -166,6 +179,8 @@ struct
     p.len <- p.len + 1;
     if p.len >= effective_batch t then begin
       let nodes = p.nodes in
+      Smr.Metrics.Counter.incr t.m_sealed;
+      Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
       p.nodes <- [];
       p.len <- 0;
       retire_batch t (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
@@ -187,6 +202,8 @@ struct
           p.len <- p.len + 1
         done;
         let nodes = p.nodes in
+        Smr.Metrics.Counter.incr t.m_sealed;
+        Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
         p.nodes <- [];
         p.len <- 0;
         retire_batch t (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
@@ -197,4 +214,11 @@ struct
   let refresh = trim
 
   let stats t = Smr.Lifecycle.stats t.counters
+
+  let metrics t =
+    Smr.Lifecycle.snapshot ~scheme:F.scheme_name
+      ~series:
+        (Smr.Metrics.series_of
+           [ t.m_sealed; t.m_sealed_nodes; t.m_trims; t.m_insert_retries ])
+      t.counters
 end

@@ -15,6 +15,16 @@ type thread = {
 
 type outcome = All_finished | Budget_exhausted | Only_stalled
 
+(* Trace events, delivered to an optional per-scheduler sink. With no sink
+   installed the emission sites reduce to a [None] match — no allocation,
+   no simulated cost — so tracing is strictly opt-in. *)
+type event =
+  | Ev_spawn of { tid : int; at : int }
+  | Ev_step of { tid : int; cost : int; at : int }
+  | Ev_stall of { tid : int; at : int }
+  | Ev_unstall of { tid : int; at : int }
+  | Ev_finish of { tid : int; at : int }
+
 type t = {
   rng : Random.State.t;
   mutable threads : thread array;
@@ -27,6 +37,7 @@ type t = {
   mutable pick_fn : (int -> int) option;
       (* when set, [pick_fn width] chooses the runnable index instead of
          the RNG — the hook the exhaustive explorer drives *)
+  mutable tracer : (event -> unit) option;
 }
 
 (* The scheduler running on this domain, if any. Scheduling is
@@ -46,7 +57,10 @@ let create ?(seed = 42) () =
     clock = 0;
     current = -1;
     pick_fn = None;
+    tracer = None;
   }
+
+let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
 let push_runnable t th =
   if t.runnable_count = Array.length t.runnable then begin
@@ -83,6 +97,7 @@ let spawn t f =
   t.count <- t.count + 1;
   t.live <- t.live + 1;
   push_runnable t th;
+  emit t (Ev_spawn { tid; at = t.clock });
   tid
 
 let self () =
@@ -104,7 +119,8 @@ let unstall t tid =
   match th.status with
   | Stalled_at k ->
       th.status <- Paused k;
-      push_runnable t th
+      push_runnable t th;
+      emit t (Ev_unstall { tid; at = t.clock })
   | Not_started _ | Paused _ | Finished -> ()
 
 let live_threads t = t.live
@@ -122,12 +138,14 @@ let resume t th =
         Some
           (fun k ->
             t.clock <- t.clock + cost;
-            th.status <- Paused k)
+            th.status <- Paused k;
+            emit t (Ev_step { tid = th.tid; cost; at = t.clock }))
     | Stall ->
         Some
           (fun k ->
             th.status <- Stalled_at k;
-            drop_runnable t th)
+            drop_runnable t th;
+            emit t (Ev_stall { tid = th.tid; at = t.clock }))
     | _ -> None
   in
   let handler =
@@ -145,7 +163,8 @@ let resume t th =
   (match th.status with
   | Finished ->
       t.live <- t.live - 1;
-      if th.run_pos >= 0 then drop_runnable t th
+      if th.run_pos >= 0 then drop_runnable t th;
+      emit t (Ev_finish { tid = th.tid; at = t.clock })
   | Not_started _ | Paused _ | Stalled_at _ -> ());
   t.current <- -1
 
@@ -175,3 +194,4 @@ let run ?(budget = max_int) t =
   Fun.protect ~finally:(fun () -> active := previous) loop
 
 let set_picker t f = t.pick_fn <- f
+let set_tracer t f = t.tracer <- f

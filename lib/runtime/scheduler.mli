@@ -19,6 +19,16 @@ type outcome =
   | Budget_exhausted  (** the time budget ran out first *)
   | Only_stalled  (** all remaining threads are stalled — a livelock *)
 
+(** Trace events emitted to the optional sink installed with
+    {!set_tracer}. [at] is the scheduler clock when the event fired. *)
+type event =
+  | Ev_spawn of { tid : int; at : int }
+  | Ev_step of { tid : int; cost : int; at : int }
+      (** a thread charged [cost] units and yielded *)
+  | Ev_stall of { tid : int; at : int }
+  | Ev_unstall of { tid : int; at : int }
+  | Ev_finish of { tid : int; at : int }
+
 val create : ?seed:int -> unit -> t
 (** Fresh scheduler. [seed] defaults to 42. *)
 
@@ -60,3 +70,9 @@ val set_picker : t -> (int -> int) option -> unit
 (** Override the random scheduling decision: [f width] must return an
     index in [0, width). Used by {!Explore} to enumerate schedules
     systematically; [None] restores seeded random scheduling. *)
+
+val set_tracer : t -> (event -> unit) option -> unit
+(** Install (or remove, with [None]) an event sink. With no sink the
+    emission sites are a single pattern match on [None] — zero simulated
+    cost and zero allocation — so executions are bit-identical with
+    tracing disabled. The sink must not call back into the scheduler. *)

@@ -32,7 +32,10 @@ let default_costs = { read = 1; write = 4; cas = 4; faa = 3; swap = 4 }
 let costs = ref default_costs
 
 (* Operation counters (plain ints, zero simulated cost): the per-scheme
-   atomic-op mix behind Table 1, reported by [bench/main.exe breakdown]. *)
+   atomic-op mix behind Table 1, reported by [bench/main.exe breakdown].
+   Each class also accumulates the simulated cost it was charged, so a
+   run's total cost can be attributed load/store/CAS/FAA/swap — the
+   per-op-class breakdown the BENCH_*.json reports carry. *)
 type op_counts = {
   mutable reads : int;
   mutable writes : int;
@@ -41,9 +44,15 @@ type op_counts = {
   mutable cas_fail : int;
   mutable faas : int;
   mutable swaps : int;
+  mutable read_cost : int;
+  mutable write_cost : int;
+  mutable plain_write_cost : int;
+  mutable cas_cost : int;
+  mutable faa_cost : int;
+  mutable swap_cost : int;
 }
 
-let counts =
+let zero_counts () =
   {
     reads = 0;
     writes = 0;
@@ -52,7 +61,15 @@ let counts =
     cas_fail = 0;
     faas = 0;
     swaps = 0;
+    read_cost = 0;
+    write_cost = 0;
+    plain_write_cost = 0;
+    cas_cost = 0;
+    faa_cost = 0;
+    swap_cost = 0;
   }
+
+let counts = zero_counts ()
 
 let reset_counts () =
   counts.reads <- 0;
@@ -61,7 +78,40 @@ let reset_counts () =
   counts.cas_ok <- 0;
   counts.cas_fail <- 0;
   counts.faas <- 0;
-  counts.swaps <- 0
+  counts.swaps <- 0;
+  counts.read_cost <- 0;
+  counts.write_cost <- 0;
+  counts.plain_write_cost <- 0;
+  counts.cas_cost <- 0;
+  counts.faa_cost <- 0;
+  counts.swap_cost <- 0
+
+(* Copy of the global counters, for before/after deltas around a measured
+   phase (reading plain ints never perturbs the simulation). *)
+let snapshot_counts () = { counts with reads = counts.reads }
+
+(* [diff_counts ~now ~past] — the operations charged between two
+   snapshots. *)
+let diff_counts ~(now : op_counts) ~(past : op_counts) =
+  {
+    reads = now.reads - past.reads;
+    writes = now.writes - past.writes;
+    plain_writes = now.plain_writes - past.plain_writes;
+    cas_ok = now.cas_ok - past.cas_ok;
+    cas_fail = now.cas_fail - past.cas_fail;
+    faas = now.faas - past.faas;
+    swaps = now.swaps - past.swaps;
+    read_cost = now.read_cost - past.read_cost;
+    write_cost = now.write_cost - past.write_cost;
+    plain_write_cost = now.plain_write_cost - past.plain_write_cost;
+    cas_cost = now.cas_cost - past.cas_cost;
+    faa_cost = now.faa_cost - past.faa_cost;
+    swap_cost = now.swap_cost - past.swap_cost;
+  }
+
+let total_cost c =
+  c.read_cost + c.write_cost + c.plain_write_cost + c.cas_cost + c.faa_cost
+  + c.swap_cost
 
 type 'a t = { mutable v : 'a }
 
@@ -70,28 +120,33 @@ let make v = { v }
 let get c =
   Scheduler.step !costs.read;
   counts.reads <- counts.reads + 1;
+  counts.read_cost <- counts.read_cost + !costs.read;
   c.v
 
 let set c v =
   Scheduler.step !costs.write;
   counts.writes <- counts.writes + 1;
+  counts.write_cost <- counts.write_cost + !costs.write;
   c.v <- v
 
 (* Pre-publication store: no ordering needed, plain-store price. *)
 let set_plain c v =
   Scheduler.step !costs.read;
   counts.plain_writes <- counts.plain_writes + 1;
+  counts.plain_write_cost <- counts.plain_write_cost + !costs.read;
   c.v <- v
 
 let exchange c v =
   Scheduler.step !costs.swap;
   counts.swaps <- counts.swaps + 1;
+  counts.swap_cost <- counts.swap_cost + !costs.swap;
   let old = c.v in
   c.v <- v;
   old
 
 let compare_and_set c expected desired =
   Scheduler.step !costs.cas;
+  counts.cas_cost <- counts.cas_cost + !costs.cas;
   if c.v == expected then begin
     counts.cas_ok <- counts.cas_ok + 1;
     c.v <- desired;
@@ -105,6 +160,7 @@ let compare_and_set c expected desired =
 let fetch_and_add c d =
   Scheduler.step !costs.faa;
   counts.faas <- counts.faas + 1;
+  counts.faa_cost <- counts.faa_cost + !costs.faa;
   let old = c.v in
   c.v <- old + d;
   old

@@ -27,6 +27,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     (* Thread-local retire lists: (retire_epoch, node), newest first. *)
     limbo : (int * 'a node) list array;
     since_scan : int array;
+    (* Metrics (plain atomics, no simulated cost). *)
+    m_epoch_advances : Metrics.Counter.t;
+    m_scans : Metrics.Counter.t;
+    m_scanned : Metrics.Counter.t;
   }
 
   type 'a guard = { tid : int }
@@ -40,6 +44,9 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
         Array.init cfg.max_threads (fun _ -> R.Atomic.make inactive);
       limbo = Array.make cfg.max_threads [];
       since_scan = Array.make cfg.max_threads 0;
+      m_epoch_advances = Metrics.Counter.make "epoch_advances";
+      m_scans = Metrics.Counter.make "scans";
+      m_scanned = Metrics.Counter.make "scanned_nodes";
     }
 
   let alloc t payload = { payload; state = Lifecycle.on_alloc t.counters }
@@ -66,9 +73,12 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   (* Advance the epoch if every active thread has caught up with it, then
      free own limbo nodes older than the oldest reservation. *)
   let scan t tid =
+    Metrics.Counter.incr t.m_scans;
+    Metrics.Counter.add t.m_scanned (List.length t.limbo.(tid));
     let e = R.Atomic.get t.epoch in
     if oldest_reservation t >= e then
-      ignore (R.Atomic.compare_and_set t.epoch e (e + 1));
+      if R.Atomic.compare_and_set t.epoch e (e + 1) then
+        Metrics.Counter.incr t.m_epoch_advances;
     let horizon = oldest_reservation t in
     let keep, free =
       List.partition (fun (re, _) -> re >= horizon) t.limbo.(tid)
@@ -100,4 +110,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     done
 
   let stats t = Lifecycle.stats t.counters
+
+  let metrics t =
+    Lifecycle.snapshot ~scheme:scheme_name
+      ~series:
+        (Metrics.series_of [ t.m_epoch_advances; t.m_scans; t.m_scanned ])
+      t.counters
 end

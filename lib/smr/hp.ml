@@ -22,6 +22,8 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     hazards : 'a node option R.Atomic.t array array;  (* [tid].(idx) *)
     limbo : 'a node list array;
     limbo_len : int array;
+    m_scans : Metrics.Counter.t;
+    m_scanned : Metrics.Counter.t;
   }
 
   type 'a guard = { tid : int; mutable used : int  (* highest idx + 1 *) }
@@ -35,6 +37,8 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
             Array.init cfg.hp_indices (fun _ -> R.Atomic.make None));
       limbo = Array.make cfg.max_threads [];
       limbo_len = Array.make cfg.max_threads 0;
+      m_scans = Metrics.Counter.make "scans";
+      m_scanned = Metrics.Counter.make "scanned_nodes";
     }
 
   let alloc t payload = { payload; state = Lifecycle.on_alloc t.counters }
@@ -74,6 +78,8 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   (* One pass over all published hazards (the charged O(mn) reads of
      Table 1), then a pure membership test per limbo node. *)
   let scan t tid =
+    Metrics.Counter.incr t.m_scans;
+    Metrics.Counter.add t.m_scanned t.limbo_len.(tid);
     let published = ref [] in
     for tid' = 0 to t.cfg.max_threads - 1 do
       for idx = 0 to t.cfg.hp_indices - 1 do
@@ -106,4 +112,9 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     done
 
   let stats t = Lifecycle.stats t.counters
+
+  let metrics t =
+    Lifecycle.snapshot ~scheme:scheme_name
+      ~series:(Metrics.series_of [ t.m_scans; t.m_scanned ])
+      t.counters
 end

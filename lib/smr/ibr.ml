@@ -34,6 +34,9 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     limbo_len : int array;
     since_scan : int array;
     alloc_clock : int Stdlib.Atomic.t;
+    m_scans : Metrics.Counter.t;
+    m_scanned : Metrics.Counter.t;
+    m_era_advances : Metrics.Counter.t;
   }
 
   type 'a guard = { tid : int }
@@ -49,11 +52,17 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       limbo_len = Array.make cfg.max_threads 0;
       since_scan = Array.make cfg.max_threads 0;
       alloc_clock = Stdlib.Atomic.make 0;
+      m_scans = Metrics.Counter.make "scans";
+      m_scanned = Metrics.Counter.make "scanned_nodes";
+      m_era_advances = Metrics.Counter.make "era_advances";
     }
 
   let alloc t payload =
     let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
-    if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+    if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then begin
+      R.Atomic.incr t.era;
+      Metrics.Counter.incr t.m_era_advances
+    end;
     {
       payload;
       state = Lifecycle.on_alloc t.counters;
@@ -93,6 +102,8 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   (* Snapshot every reservation interval once (charged O(n) reads), then
      partition with pure interval-overlap tests. *)
   let scan t tid =
+    Metrics.Counter.incr t.m_scans;
+    Metrics.Counter.add t.m_scanned t.limbo_len.(tid);
     let intervals = ref [] in
     for tid' = 0 to t.cfg.max_threads - 1 do
       let lo = R.Atomic.get t.lower.(tid') in
@@ -132,4 +143,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     done
 
   let stats t = Lifecycle.stats t.counters
+
+  let metrics t =
+    Lifecycle.snapshot ~scheme:scheme_name
+      ~series:
+        (Metrics.series_of [ t.m_scans; t.m_scanned; t.m_era_advances ])
+      t.counters
 end

@@ -34,4 +34,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   let flush (_ : _ t) = ()
   let stats t = Lifecycle.stats t.counters
+
+  let metrics t =
+    let s = Lifecycle.stats t.counters in
+    Lifecycle.snapshot ~scheme:scheme_name
+      ~series:[ ("leaked", Smr_intf.unreclaimed s) ]
+      t.counters
 end

@@ -3,7 +3,12 @@
 
     All state lives in plain [Stdlib.Atomic] cells: correct under the
     single-domain simulator and under native domains alike, and invisible to
-    the simulator's cost model, so auditing never distorts measurements. *)
+    the simulator's cost model, so auditing never distorts measurements.
+
+    Besides the running totals the auditor maintains the
+    {e peak-unreclaimed} high-water mark — the largest value
+    [retired - freed] ever reached — which is the paper's Fig. 9/10 memory
+    footprint observable in its worst-case form. *)
 
 type state = Live | Retired | Freed
 
@@ -13,6 +18,7 @@ type counters = {
   allocated : int Stdlib.Atomic.t;
   retired : int Stdlib.Atomic.t;
   freed : int Stdlib.Atomic.t;
+  peak_unreclaimed : int Stdlib.Atomic.t;
 }
 
 let make_counters () =
@@ -20,6 +26,7 @@ let make_counters () =
     allocated = Stdlib.Atomic.make 0;
     retired = Stdlib.Atomic.make 0;
     freed = Stdlib.Atomic.make 0;
+    peak_unreclaimed = Stdlib.Atomic.make 0;
   }
 
 let stats c : Smr_intf.stats =
@@ -27,6 +34,29 @@ let stats c : Smr_intf.stats =
     allocated = Stdlib.Atomic.get c.allocated;
     retired = Stdlib.Atomic.get c.retired;
     freed = Stdlib.Atomic.get c.freed;
+  }
+
+let peak_unreclaimed c = Stdlib.Atomic.get c.peak_unreclaimed
+
+(* Raise the high-water mark to the current [retired - freed]. Monotone
+   CAS loop on plain atomics; called after every retired-count bump. *)
+let note_unreclaimed c =
+  let u = Stdlib.Atomic.get c.retired - Stdlib.Atomic.get c.freed in
+  let rec raise_to () =
+    let p = Stdlib.Atomic.get c.peak_unreclaimed in
+    if u > p && not (Stdlib.Atomic.compare_and_set c.peak_unreclaimed p u)
+    then raise_to ()
+  in
+  raise_to ()
+
+let snapshot ~scheme ~series c : Metrics.snapshot =
+  {
+    scheme;
+    allocated = Stdlib.Atomic.get c.allocated;
+    retired = Stdlib.Atomic.get c.retired;
+    freed = Stdlib.Atomic.get c.freed;
+    peak_unreclaimed = Stdlib.Atomic.get c.peak_unreclaimed;
+    series;
   }
 
 let on_alloc counters : cell =
@@ -39,12 +69,17 @@ let on_alloc counters : cell =
    retire-once lifecycle transition here. *)
 let on_retire ?(tally = true) ~scheme cell counters =
   match Stdlib.Atomic.exchange cell Retired with
-  | Live -> if tally then Stdlib.Atomic.incr counters.retired
+  | Live ->
+      if tally then begin
+        Stdlib.Atomic.incr counters.retired;
+        note_unreclaimed counters
+      end
   | Retired -> invalid_arg (scheme ^ ": node retired twice")
   | Freed -> raise (Smr_intf.Use_after_free (scheme ^ ": retire after free"))
 
 let tally_retired counters n =
-  ignore (Stdlib.Atomic.fetch_and_add counters.retired n)
+  ignore (Stdlib.Atomic.fetch_and_add counters.retired n);
+  note_unreclaimed counters
 
 let on_free ~scheme cell counters =
   match Stdlib.Atomic.exchange cell Freed with

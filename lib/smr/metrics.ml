@@ -1,0 +1,68 @@
+(** First-class metrics for SMR schemes.
+
+    Every scheme exposes a {!snapshot}: the shared lifecycle counters
+    (allocated / retired / freed, plus a peak-unreclaimed high-water mark
+    maintained by {!Lifecycle}) and a list of scheme-specific series —
+    batch seals and trims for Hyaline, scan counts and lengths for the
+    pointer/era schemes, epoch advances for EBR. The legacy
+    {!type:stats} triple survives as a thin compatibility view
+    ({!to_stats}); new code should read snapshots.
+
+    All counters live in plain [Stdlib.Atomic] cells, so taking a snapshot
+    is invisible to the simulator's cost model: metrics never perturb a
+    measurement. *)
+
+(** The legacy accounting triple. Defined here and re-exported by
+    {!Smr_intf} so existing [Smr.Smr_intf.stats] consumers keep working. *)
+type stats = { allocated : int; retired : int; freed : int }
+
+type snapshot = {
+  scheme : string;
+  allocated : int;
+  retired : int;
+  freed : int;
+  peak_unreclaimed : int;
+      (** High-water mark of [retired - freed] over the instance lifetime. *)
+  series : (string * int) list;
+      (** Scheme-specific named counters, fixed per scheme. *)
+}
+
+let unreclaimed_of ~retired ~freed = retired - freed
+let unreclaimed s = unreclaimed_of ~retired:s.retired ~freed:s.freed
+
+let to_stats s : stats =
+  { allocated = s.allocated; retired = s.retired; freed = s.freed }
+
+let series_value s name = List.assoc_opt name s.series
+
+let pp ppf s =
+  Fmt.pf ppf "%s: allocated=%d retired=%d freed=%d unreclaimed=%d peak=%d"
+    s.scheme s.allocated s.retired s.freed (unreclaimed s) s.peak_unreclaimed;
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) s.series
+
+let equal a b =
+  String.equal a.scheme b.scheme
+  && a.allocated = b.allocated
+  && a.retired = b.retired
+  && a.freed = b.freed
+  && a.peak_unreclaimed = b.peak_unreclaimed
+  && List.length a.series = List.length b.series
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && v1 = v2)
+       a.series b.series
+
+(** Scheme-side counter cell: a plain atomic int with a stable name.
+    Bumping one is ordinary OCaml work — no simulated cost, no scheduler
+    yield — so instrumented hot paths stay bit-identical under the
+    simulator whether or not anyone reads the metrics. *)
+module Counter = struct
+  type t = { name : string; cell : int Stdlib.Atomic.t }
+
+  let make name = { name; cell = Stdlib.Atomic.make 0 }
+  let incr c = Stdlib.Atomic.incr c.cell
+  let add c n = ignore (Stdlib.Atomic.fetch_and_add c.cell n)
+  let get c = Stdlib.Atomic.get c.cell
+  let read c = (c.name, Stdlib.Atomic.get c.cell)
+end
+
+let series_of counters = List.map Counter.read counters

@@ -19,8 +19,11 @@ exception Double_free of string
 (** A node was freed twice — an SMR accounting violation. *)
 
 (** Global accounting, kept in plain [Stdlib.Atomic] counters so that
-    auditing never perturbs the simulator's cost accounting. *)
-type stats = { allocated : int; retired : int; freed : int }
+    auditing never perturbs the simulator's cost accounting. The record
+    lives in {!Metrics} (it is the compatibility view of a
+    {!Metrics.snapshot}) and is re-exported here under its historical
+    name. *)
+type stats = Metrics.stats = { allocated : int; retired : int; freed : int }
 
 let unreclaimed s = s.retired - s.freed
 
@@ -119,6 +122,11 @@ module type SMR = sig
       harness teardown. *)
 
   val stats : 'a t -> stats
+  (** Thin compatibility view of {!metrics}. *)
+
+  val metrics : 'a t -> Metrics.snapshot
+  (** Full metrics snapshot: lifecycle counters, the peak-unreclaimed
+      high-water mark, and the scheme-specific series (see {!Metrics}). *)
 end
 
 (** Functor shape shared by all schemes. *)

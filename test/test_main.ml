@@ -12,4 +12,5 @@ let () =
       ("explore", Test_explore.suite);
       ("schemes-unit", Test_schemes_unit.suite);
       ("linearize", Test_linearize.suite);
+      ("metrics", Test_metrics.suite);
     ]

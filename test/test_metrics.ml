@@ -1,0 +1,238 @@
+(** The metrics subsystem: snapshot determinism, lifecycle invariants,
+    quiescent-flush accounting, scheduler tracing, and the BENCH report
+    JSON round trip. *)
+
+open Test_support
+module Metrics = Smr.Metrics
+module Workload = Smr_harness.Workload
+module Histogram = Smr_harness.Histogram
+module Json = Smr_harness.Json
+module Report = Smr_harness.Report
+
+let small_spec =
+  {
+    Workload.default_spec with
+    threads = 3;
+    key_range = 256;
+    prefill = 64;
+    budget = 20_000;
+    buckets = 64;
+    cfg = test_cfg ~threads:4;
+  }
+
+let run_hashmap (module S : SMR) spec =
+  let module Map = Smr_ds.Michael_hashmap.Make (S) in
+  Workload.run (module Map) spec
+
+(* -- satellite (b): the prefill guard ------------------------------------ *)
+
+let test_prefill_guard () =
+  let spec = { small_spec with key_range = 16; prefill = 17 } in
+  match run_hashmap (module Hyaline) spec with
+  | _ -> Alcotest.fail "prefill > key_range must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* -- determinism: fixed (spec, seed) => identical snapshots -------------- *)
+
+let test_deterministic_snapshot () =
+  List.iter
+    (fun (name, s) ->
+      let a = run_hashmap s small_spec in
+      let b = run_hashmap s small_spec in
+      Alcotest.(check int) (name ^ ": ops") a.Workload.ops b.Workload.ops;
+      Alcotest.(check int) (name ^ ": steps") a.Workload.steps b.Workload.steps;
+      Alcotest.(check bool)
+        (name ^ ": metrics snapshots equal")
+        true
+        (Metrics.equal a.Workload.metrics b.Workload.metrics);
+      Alcotest.(check (list int))
+        (name ^ ": latency buckets equal")
+        (Histogram.to_list a.Workload.latency)
+        (Histogram.to_list b.Workload.latency))
+    [
+      ("hyaline", (module Hyaline : SMR));
+      ("epoch", (module Ebr));
+      ("hp", (module Hp));
+    ]
+
+(* -- lifecycle invariants over every scheme ------------------------------ *)
+
+let test_peak_invariant () =
+  List.iter
+    (fun (name, s) ->
+      let r = run_hashmap s small_spec in
+      let m = r.Workload.metrics in
+      let u = Metrics.unreclaimed m in
+      Alcotest.(check bool)
+        (name ^ ": peak >= final unreclaimed")
+        true
+        (m.Metrics.peak_unreclaimed >= u);
+      Alcotest.(check bool)
+        (name ^ ": peak >= max per-op sample")
+        true
+        (m.Metrics.peak_unreclaimed >= r.Workload.peak_unreclaimed);
+      Alcotest.(check bool)
+        (name ^ ": retired <= allocated")
+        true
+        (m.Metrics.retired <= m.Metrics.allocated);
+      Alcotest.(check bool) (name ^ ": freed <= retired") true
+        (m.Metrics.freed <= m.Metrics.retired);
+      Alcotest.(check bool)
+        (name ^ ": some scheme-specific series")
+        true (m.Metrics.series <> []);
+      (* The compatibility view must agree with the snapshot. *)
+      let st = r.Workload.final in
+      Alcotest.(check int)
+        (name ^ ": stats view agrees")
+        (Smr.Smr_intf.unreclaimed st) u)
+    all_schemes
+
+(* Retire under a guard, leave, flush: every reclaiming scheme must reach
+   unreclaimed = 0 and report it through the snapshot; Leaky must free
+   nothing and account for it in its [leaked] series. *)
+let test_quiescent_flush () =
+  let exercise (module S : SMR) =
+    run_solo (fun () ->
+        let t = S.create (test_cfg ~threads:4) in
+        let g = S.enter t in
+        for i = 1 to 40 do
+          S.retire t g (S.alloc t i)
+        done;
+        let g = S.refresh t g in
+        for i = 1 to 10 do
+          S.retire t g (S.alloc t i)
+        done;
+        S.leave t g;
+        S.flush t;
+        S.metrics t)
+  in
+  List.iter
+    (fun (name, s) ->
+      let m = exercise s in
+      (* Hyaline variants retire one extra control node per sealed batch,
+         so only a lower bound is portable across schemes. *)
+      Alcotest.(check bool)
+        (name ^ ": retired at least the 50 nodes")
+        true (m.Metrics.retired >= 50);
+      Alcotest.(check int)
+        (name ^ ": quiescent flush reclaims everything")
+        0 (Metrics.unreclaimed m);
+      Alcotest.(check bool)
+        (name ^ ": peak saw the backlog")
+        true
+        (m.Metrics.peak_unreclaimed >= 1))
+    reclaiming_schemes;
+  let m = exercise (module Leaky) in
+  Alcotest.(check int) "leaky: frees nothing" 0 m.Metrics.freed;
+  Alcotest.(check (option int))
+    "leaky: leaked series tracks unreclaimed"
+    (Some (Metrics.unreclaimed m))
+    (Metrics.series_value m "leaked")
+
+(* -- scheduler event tracing --------------------------------------------- *)
+
+let test_tracer_events () =
+  let log = ref [] in
+  let sched = Sched.create ~seed:7 () in
+  Sched.set_tracer sched (Some (fun e -> log := e :: !log));
+  for _ = 1 to 2 do
+    ignore
+      (Sched.spawn sched (fun () ->
+           Sched.step 3;
+           Sched.step 2))
+  done;
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | _ -> Alcotest.fail "fibers did not finish");
+  let events = List.rev !log in
+  let count p = List.length (List.filter p events) in
+  Alcotest.(check int) "two spawns" 2
+    (count (function Sched.Ev_spawn _ -> true | _ -> false));
+  Alcotest.(check int) "four steps" 4
+    (count (function Sched.Ev_step _ -> true | _ -> false));
+  Alcotest.(check int) "two finishes" 2
+    (count (function Sched.Ev_finish _ -> true | _ -> false));
+  let at = function
+    | Sched.Ev_spawn { at; _ }
+    | Sched.Ev_step { at; _ }
+    | Sched.Ev_stall { at; _ }
+    | Sched.Ev_unstall { at; _ }
+    | Sched.Ev_finish { at; _ } -> at
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> at a <= at b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (monotone events);
+  (* Removing the sink stops emission. *)
+  Sched.set_tracer sched None;
+  let before = List.length events in
+  ignore (Sched.spawn sched (fun () -> Sched.step 1));
+  ignore (Sched.run sched);
+  Alcotest.(check int) "no events after removal" before (List.length !log)
+
+(* -- BENCH report round trip --------------------------------------------- *)
+
+let test_report_roundtrip () =
+  let r = run_hashmap (module Hyaline) small_spec in
+  let report =
+    {
+      Report.name = "unit";
+      arch = Smr_harness.Registry.X86;
+      points =
+        [
+          {
+            Report.scheme = "Hyaline";
+            structure = "hashmap";
+            threads = small_spec.Workload.threads;
+            r;
+          };
+        ];
+    }
+  in
+  let j = Report.to_json report in
+  let text = Json.to_string j in
+  (* Printer and parser are inverses on everything the report emits. *)
+  Alcotest.(check bool) "json round trip" true (Json.of_string text = j);
+  let parsed = Report.parse (Json.of_string text) in
+  (match Report.validate ~schemes:[ "Hyaline" ] parsed with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("validate: " ^ e));
+  let p = List.hd parsed.Report.p_points in
+  Alcotest.(check int) "ops survive" r.Workload.ops p.Report.p_ops;
+  Alcotest.(check int) "peak survives" r.Workload.metrics.Metrics.peak_unreclaimed
+    p.Report.p_lifecycle_peak;
+  Alcotest.(check bool)
+    "series survive" true
+    (p.Report.p_series = r.Workload.metrics.Metrics.series);
+  (* Coverage checking must actually bite. *)
+  (match Report.validate ~schemes:[ "Hyaline"; "Epoch" ] parsed with
+  | Ok () -> Alcotest.fail "missing scheme not detected"
+  | Error _ -> ());
+  match Report.parse (Json.of_string "{\"schema_version\": 99}") with
+  | _ -> Alcotest.fail "bad schema_version not detected"
+  | exception Json.Parse_error _ -> ()
+
+let test_histogram () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0; 1; 2; 3; 4; 7; 8; 1000; max_int ];
+  Alcotest.(check int) "count" 9 (Histogram.count h);
+  (* Rank 5 of 9 is the sample 4, which lives in bucket [4, 8). *)
+  Alcotest.(check int) "p50 bound" 8 (Histogram.percentile h 50);
+  Alcotest.(check int) "max" max_int h.Histogram.max;
+  let h' = Histogram.of_list (Histogram.to_list h) in
+  Alcotest.(check (list int))
+    "to_list/of_list round trip" (Histogram.to_list h) (Histogram.to_list h');
+  Alcotest.(check int) "count restored" 9 (Histogram.count h')
+
+let suite =
+  [
+    Alcotest.test_case "prefill guard" `Quick test_prefill_guard;
+    Alcotest.test_case "deterministic snapshots" `Quick
+      test_deterministic_snapshot;
+    Alcotest.test_case "peak/lifecycle invariants" `Quick test_peak_invariant;
+    Alcotest.test_case "quiescent flush" `Quick test_quiescent_flush;
+    Alcotest.test_case "scheduler tracer" `Quick test_tracer_events;
+    Alcotest.test_case "report json round trip" `Quick test_report_roundtrip;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+  ]

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Repo health gate: build, tests, formatting (when the formatter is
+# installed), and a smoke run of the benchmark report pipeline.
+#
+# Usage: tools/check.sh  (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> dune build"
+dune build
+
+echo "==> dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "==> dune build @fmt"
+  dune build @fmt
+else
+  echo "==> skipping @fmt (ocamlformat not installed)"
+fi
+
+# Smoke-run the report pipeline. The bench subcommand re-reads the file it
+# wrote, parses it against the schema, and exits non-zero unless every
+# scheme in the registry is covered — so a zero exit here certifies the
+# whole emit -> parse -> validate loop.
+echo "==> bench smoke run"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bin/figures.exe -- bench -n check -t 2 -o "$tmpdir"
+test -s "$tmpdir/BENCH_check.json"
+
+echo "==> all checks passed"

@@ -141,6 +141,185 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ name_t $ structures $ thread_counts $ dir $ scale_term)
 
+let verify_cmd =
+  let doc =
+    "Adversarial schedule verification: sweep every SMR scheme against \
+     every data structure under sleep-set DFS, weighted random walks and \
+     PCT schedules; probe robustness with stall injection; shrink and \
+     dump any counterexample as a replayable trace file."
+  in
+  let module V = Smr_harness.Verify in
+  let module E = Smr_runtime.Explore in
+  let module T = Smr_harness.Trace_file in
+  let mode_t =
+    Arg.(
+      value
+      & opt (enum [ ("all", `All); ("dfs", `Dfs); ("random", `Random); ("pct", `Pct) ]) `All
+      & info [ "m"; "mode" ] ~doc:"Exploration mode(s): all, dfs, random, pct.")
+  in
+  let seed_t = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed.") in
+  let trace_dir_t =
+    Arg.(
+      value & opt string "."
+      & info [ "trace-dir" ] ~doc:"Directory for counterexample trace files.")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI budget: fixed seeds and the small default limits (the matrix \
+             completes in well under a minute). Currently the default \
+             budgets; spelled out so scripts are explicit about intent.")
+  in
+  let replay_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~doc:"Replay a trace file and exit.")
+  in
+  let shape_of_trace tr =
+    let geti k d =
+      match T.meta_value tr k with
+      | Some v -> ( match int_of_string_opt v with Some n -> n | None -> d)
+      | None -> d
+    in
+    {
+      V.threads = geti "threads" V.default_shape.V.threads;
+      ops = geti "ops" V.default_shape.V.ops;
+      keys = geti "keys" V.default_shape.V.keys;
+      prog_seed = geti "prog_seed" V.default_shape.V.prog_seed;
+    }
+  in
+  let replay_trace path =
+    let tr = T.load ~path in
+    let fail msg =
+      Fmt.epr "replay failed: %s@." msg;
+      exit 1
+    in
+    let scheme_name =
+      match T.meta_value tr "scheme" with
+      | Some s -> s
+      | None -> fail "trace has no scheme meta"
+    in
+    let structure =
+      match Option.bind (T.meta_value tr "structure") V.structure_of_name with
+      | Some s -> s
+      | None -> fail "trace has no valid structure meta"
+    in
+    let scheme =
+      match V.scheme_of_name scheme_name with
+      | Some s -> s
+      | None -> fail ("unknown scheme " ^ scheme_name)
+    in
+    let program = V.program_for scheme structure (shape_of_trace tr) in
+    (match E.replay_outcome ~faults:tr.T.faults program tr.T.schedule with
+    | Ok () ->
+        Fmt.epr "trace did NOT reproduce: run succeeded@.";
+        exit 1
+    | Error m when m = tr.T.message ->
+        Fmt.pr "reproduced: %s@." m
+    | Error m ->
+        Fmt.epr "trace reproduced a DIFFERENT failure: %s (expected %s)@." m
+          tr.T.message;
+        exit 1)
+  in
+  let run mode seed trace_dir smoke replay scale =
+    ignore smoke;
+    match replay with
+    | Some path -> replay_trace path
+    | None ->
+        let budgets =
+          match scale with
+          | Smr_harness.Figures.Quick -> V.smoke_budgets
+          | Smr_harness.Figures.Full ->
+              { V.dfs_limit = 2_000; walks = 100; change_points = 3 }
+        in
+        let modes =
+          List.filter
+            (fun m ->
+              match (mode, m) with
+              | `All, _ -> true
+              | `Dfs, E.Dfs -> true
+              | `Random, E.Random_walk _ -> true
+              | `Pct, E.Pct _ -> true
+              | _ -> false)
+            (V.modes_of_budgets budgets)
+        in
+        let shape = V.default_shape in
+        let failed = ref 0 in
+        let cells = ref 0 in
+        let skipped = ref 0 in
+        List.iter
+          (fun ((sname, _) as scheme) ->
+            List.iter
+              (fun structure ->
+                List.iter
+                  (fun m ->
+                    let cell = V.run_cell ~seed ~budgets ~shape scheme structure m in
+                    incr cells;
+                    match cell.V.c_verdict with
+                    | V.Pass _ -> ()
+                    | V.Skipped _ -> incr skipped
+                    | V.Fail { schedule; shrunk; message } ->
+                        incr failed;
+                        let file =
+                          Printf.sprintf "%s/TRACE_%s_%s_%s.txt" trace_dir
+                            sname
+                            (V.structure_name structure)
+                            (V.mode_name m)
+                        in
+                        T.save ~path:file
+                          {
+                            T.meta =
+                              [
+                                ("scheme", sname);
+                                ("structure", V.structure_name structure);
+                                ("mode", V.mode_name m);
+                                ("seed", string_of_int seed);
+                                ("threads", string_of_int shape.V.threads);
+                                ("ops", string_of_int shape.V.ops);
+                                ("keys", string_of_int shape.V.keys);
+                                ("prog_seed", string_of_int shape.V.prog_seed);
+                              ];
+                            faults = [];
+                            schedule = shrunk;
+                            message;
+                          };
+                        Fmt.pr
+                          "FAIL %-12s %-8s %-6s: %s (schedule %d decisions, \
+                           shrunk to %d) -> %s@."
+                          sname
+                          (V.structure_name structure)
+                          (V.mode_name m) message (List.length schedule)
+                          (List.length shrunk) file)
+                  modes)
+              V.structures)
+          V.schemes;
+        Fmt.pr "conformance: %d cells (%d skipped), %d violation(s)@." !cells
+          !skipped !failed;
+        (* Robustness probes: each scheme's peak unreclaimed under a
+           stall-injected reader, judged against its own robust flag. *)
+        let writers = 2 in
+        let bound = V.robust_bound ~writers in
+        let probes = V.probe_all ~seed:(seed + 3) ~writers () in
+        let mismatches = ref 0 in
+        List.iter
+          (fun (r : V.robustness) ->
+            let ok = if r.V.r_robust then r.V.r_peak <= bound else r.V.r_peak > bound in
+            if not ok then incr mismatches;
+            Fmt.pr "robustness %-12s robust=%-5b peak=%-6d retired=%-6d %s@."
+              r.V.r_scheme r.V.r_robust r.V.r_peak r.V.r_retired
+              (if ok then "ok" else "MISMATCH"))
+          probes;
+        Fmt.pr "robustness: %d scheme(s), bound %d, %d mismatch(es)@."
+          (List.length probes) bound !mismatches;
+        if !failed > 0 || !mismatches > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ mode_t $ seed_t $ trace_dir_t $ smoke_t $ replay_t
+      $ scale_term)
+
 let () =
   let open Smr_harness.Figures in
   let cmds =
@@ -155,6 +334,7 @@ let () =
         Term.(const (fun () -> table1 Fmt.stdout) $ const ());
       point_cmd;
       bench_cmd;
+      verify_cmd;
     ]
   in
   let info =

@@ -1,0 +1,331 @@
+(** Conformance verification: machine-check every registered SMR scheme
+    against every data structure under the three {!Smr_runtime.Explore}
+    modes (sleep-set DFS, weighted random walks, PCT), plus seeded
+    stall-injection probes that test the paper's robustness claims
+    against each scheme's own [robust] flag.
+
+    The oracle stack per execution: the lifecycle auditor (use-after-free
+    / double-free raise), deadlock detection, and a quiescence
+    post-condition ([flush]; every retired node freed — skipped for
+    Leaky, which frees nothing by design). The robustness probes use
+    {!Smr.Metrics} peak-unreclaimed snapshots as the bounded-memory
+    oracle. Violations are shrunk and can be written to a replayable
+    trace file ({!Trace_file}). *)
+
+module Explore = Smr_runtime.Explore
+
+module type SMR = Smr.Smr_intf.SMR
+module type CONC_SET = Smr_ds.Ds_intf.CONC_SET
+
+(* ------------------------------------------------------------------ *)
+(* The scheme x structure grid                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every scheme in lib/smr + lib/hyaline over the simulated runtime: the
+   Registry's x86 set plus the LL/SC-headed Hyaline variants, so both
+   head implementations are conformance-checked. *)
+let schemes : (string * (module SMR)) list =
+  Registry.all_schemes Registry.X86
+  @ [
+      ("Hyaline-LLSC", (module Registry.Hyaline_llsc));
+      ("Hyaline-S-LLSC", (module Registry.Hyaline_s_llsc));
+    ]
+
+type structure =
+  | Stack
+  | Queue
+  | List_set
+  | Hashmap
+  | Skiplist
+  | Nm_tree
+  | Bonsai
+
+let structures =
+  [ Stack; Queue; List_set; Hashmap; Skiplist; Nm_tree; Bonsai ]
+
+let structure_name = function
+  | Stack -> "stack"
+  | Queue -> "queue"
+  | List_set -> "list"
+  | Hashmap -> "hashmap"
+  | Skiplist -> "skiplist"
+  | Nm_tree -> "nm-tree"
+  | Bonsai -> "bonsai"
+
+let structure_of_name n =
+  List.find_opt (fun s -> structure_name s = n) structures
+
+let scheme_of_name n =
+  List.assoc_opt n schemes
+
+(* Per-pointer hazards cannot protect Bonsai's snapshot traversal
+   (Registry's own exclusion, §6 / Fig. 8b). *)
+let supported structure (scheme_name : string) =
+  match structure with
+  | Bonsai -> scheme_name <> "HP" && scheme_name <> "HE"
+  | _ -> true
+
+(* Aggressive-reclamation config: tiny batches and eras so every few
+   operations cross a seal/scan boundary — the reclamation machinery is
+   exercised even by the micro programs DFS can exhaust. *)
+let tiny_cfg ~threads =
+  {
+    Smr.Smr_intf.default_config with
+    max_threads = threads;
+    slots = 2;
+    batch_size = 2;
+    era_freq = 2;
+    ack_threshold = 4;
+    hp_indices = 8;
+  }
+
+(* Shape of one conformance program, recorded in trace files so a
+   violation can be reconstructed and replayed from the file alone. *)
+type shape = { threads : int; ops : int; keys : int; prog_seed : int }
+
+let default_shape = { threads = 2; ops = 2; keys = 2; prog_seed = 7 }
+
+let reclaiming (module S : SMR) = S.scheme_name <> "Leaky"
+
+let set_program (module D : CONC_SET) ~reclaiming (shape : shape) :
+    Explore.program =
+ fun () ->
+  let set = D.create ~buckets:2 (tiny_cfg ~threads:shape.threads) in
+  let body tid () =
+    let rng = Random.State.make [| shape.prog_seed; tid |] in
+    for _ = 1 to shape.ops do
+      let k = Random.State.int rng shape.keys in
+      match Random.State.int rng 3 with
+      | 0 -> ignore (D.insert set k)
+      | 1 -> ignore (D.remove set k)
+      | _ -> ignore (D.contains set k)
+    done
+  in
+  ( List.init shape.threads body,
+    fun () ->
+      D.flush set;
+      (not reclaiming) || Smr.Smr_intf.unreclaimed (D.stats set) = 0 )
+
+let stack_program (module S : SMR) (shape : shape) : Explore.program =
+  let module St = Smr_ds.Treiber_stack.Make (S) in
+  fun () ->
+    let stack = St.create (tiny_cfg ~threads:shape.threads) in
+    let body tid () =
+      let rng = Random.State.make [| shape.prog_seed; tid |] in
+      for i = 1 to shape.ops do
+        if Random.State.bool rng then St.push stack ((tid * 100) + i)
+        else ignore (St.pop stack)
+      done
+    in
+    ( List.init shape.threads body,
+      fun () ->
+        St.flush stack;
+        (not (reclaiming (module S)))
+        || Smr.Smr_intf.unreclaimed (St.stats stack) = 0 )
+
+let queue_program (module S : SMR) (shape : shape) : Explore.program =
+  let module Q = Smr_ds.Ms_queue.Make (S) in
+  fun () ->
+    let q = Q.create (tiny_cfg ~threads:shape.threads) in
+    let body tid () =
+      let rng = Random.State.make [| shape.prog_seed; tid |] in
+      for i = 1 to shape.ops do
+        if Random.State.bool rng then Q.enqueue q ((tid * 100) + i)
+        else ignore (Q.dequeue q)
+      done
+    in
+    ( List.init shape.threads body,
+      fun () ->
+        Q.flush q;
+        (* The queue's dummy node is always live, so quiescence leaves
+           retired == freed, same as the sets. *)
+        (not (reclaiming (module S)))
+        || Smr.Smr_intf.unreclaimed (Q.stats q) = 0 )
+
+let program_for (module S : SMR) structure shape : Explore.program =
+  let r = reclaiming (module S) in
+  match structure with
+  | Stack -> stack_program (module S) shape
+  | Queue -> queue_program (module S) shape
+  | List_set ->
+      let module D = Smr_ds.Harris_michael_list.Make (S) in
+      set_program (module D) ~reclaiming:r shape
+  | Hashmap ->
+      let module D = Smr_ds.Michael_hashmap.Make (S) in
+      set_program (module D) ~reclaiming:r shape
+  | Skiplist ->
+      let module D = Smr_ds.Skiplist.Make (S) in
+      set_program (module D) ~reclaiming:r shape
+  | Nm_tree ->
+      let module D = Smr_ds.Natarajan_mittal_tree.Make (S) in
+      set_program (module D) ~reclaiming:r shape
+  | Bonsai ->
+      let module D = Smr_ds.Bonsai_tree.Make (S) in
+      set_program (module D) ~reclaiming:r shape
+
+(* ------------------------------------------------------------------ *)
+(* The conformance matrix                                              *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Pass of int  (** executions performed (exhaustive or budgeted) *)
+  | Fail of { schedule : int list; shrunk : int list; message : string }
+  | Skipped of string  (** structure/scheme pair excluded, with reason *)
+
+type cell = {
+  c_scheme : string;
+  c_structure : structure;
+  c_mode : Explore.mode;
+  c_verdict : verdict;
+}
+
+let mode_name = function
+  | Explore.Dfs -> "dfs"
+  | Explore.Random_walk _ -> "random"
+  | Explore.Pct _ -> "pct"
+
+type budgets = { dfs_limit : int; walks : int; change_points : int }
+
+let smoke_budgets = { dfs_limit = 150; walks = 12; change_points = 3 }
+
+let modes_of_budgets b =
+  [
+    Explore.Dfs;
+    Explore.Random_walk { walks = b.walks };
+    Explore.Pct { walks = b.walks; change_points = b.change_points };
+  ]
+
+let run_cell ?(seed = 0) ?(budgets = smoke_budgets) ?(shape = default_shape)
+    (scheme_name, (module S : SMR)) structure mode : cell =
+  let verdict =
+    if not (supported structure scheme_name) then
+      Skipped "hazard-pointer schemes cannot protect a snapshot traversal"
+    else begin
+      let program = program_for (module S) structure shape in
+      match
+        Explore.explore ~mode ~seed ~limit:budgets.dfs_limit program
+      with
+      | Explore.Exhausted n | Explore.Limit_reached n -> Pass n
+      | Explore.Violation { schedule; message } ->
+          let shrunk = Explore.shrink program schedule in
+          Fail { schedule; shrunk; message }
+    end
+  in
+  { c_scheme = scheme_name; c_structure = structure; c_mode = mode; c_verdict = verdict }
+
+let run_matrix ?(seed = 0) ?(budgets = smoke_budgets)
+    ?(shape = default_shape) () : cell list =
+  List.concat_map
+    (fun scheme ->
+      List.concat_map
+        (fun structure ->
+          List.map
+            (fun mode -> run_cell ~seed ~budgets ~shape scheme structure mode)
+            (modes_of_budgets budgets))
+        structures)
+    schemes
+
+let failures cells =
+  List.filter (fun c -> match c.c_verdict with Fail _ -> true | _ -> false)
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Stall-injection robustness probes                                   *)
+(* ------------------------------------------------------------------ *)
+
+type robustness = {
+  r_scheme : string;
+  r_robust : bool;  (** the scheme's own claim (Table 1) *)
+  r_peak : int;  (** peak retired-but-unreclaimed with a stalled reader *)
+  r_retired : int;  (** total retired, for scale *)
+  r_freed : int;
+}
+
+(* One reader enters its bracket and is stalled by fault injection
+   mid-operation — it holds its reservation forever, exactly the paper's
+   Fig. 10a adversary. Writers then churn insert/remove pairs over
+   disjoint keys, so every pair retires exactly one node. A robust
+   scheme's peak unreclaimed stays bounded by its batch geometry; a
+   non-robust scheme's grows linearly with the churn.
+
+   The fault plan makes the entry deterministic under ANY picker: the
+   writers are suspended for the first [handoff] decisions, so only the
+   reader runs until it is provably inside its bracket (enter plus a few
+   protected reads); at decision [handoff] the reader is stalled for
+   good and the writers are released. *)
+let robustness_probe ?(seed = 3) ?(churn = 160) ?(writers = 2) ?name
+    (module S : SMR) : robustness =
+  let name = Option.value name ~default:S.scheme_name in
+  let module Map = Smr_ds.Michael_hashmap.Make (S) in
+  let captured = ref None in
+  let program () =
+    let cfg =
+      {
+        (tiny_cfg ~threads:(writers + 1)) with
+        Smr.Smr_intf.slots = 4;
+        batch_size = 8;
+        era_freq = 8;
+        ack_threshold = 16;
+      }
+    in
+    let map = Map.create ~buckets:8 cfg in
+    let reader () =
+      let g = Map.enter map in
+      for _ = 1 to 10_000 do
+        ignore (Map.contains_with map g 0)
+      done;
+      Map.leave map g
+    in
+    let writer tid () =
+      let base = tid * 100 in
+      for i = 1 to churn do
+        let k = base + (i mod 8) in
+        ignore (Map.insert map k);
+        ignore (Map.remove map k)
+      done
+    in
+    ( reader :: List.init writers (fun i -> writer (i + 1)),
+      fun () ->
+        captured := Some (Map.metrics map);
+        true )
+  in
+  let handoff = 24 in
+  let faults =
+    Explore.stall_at ~victim:0 ~at:handoff ()
+    :: List.init writers (fun i ->
+           Explore.stall_at ~victim:(i + 1) ~at:1 ~resume_at:handoff ())
+  in
+  (match
+     Explore.explore
+       ~mode:(Explore.Random_walk { walks = 1 })
+       ~seed ~faults ~max_steps:max_int program
+   with
+  | Explore.Violation { message; _ } ->
+      invalid_arg ("Verify.robustness_probe: unexpected violation: " ^ message)
+  | Explore.Exhausted _ | Explore.Limit_reached _ -> ());
+  match !captured with
+  | None -> invalid_arg "Verify.robustness_probe: post-condition never ran"
+  | Some m ->
+      {
+        r_scheme = name;
+        r_robust = S.robust;
+        r_peak = m.Smr.Metrics.peak_unreclaimed;
+        r_retired = m.Smr.Metrics.retired;
+        r_freed = m.Smr.Metrics.freed;
+      }
+
+(* Peak-unreclaimed bound a robust scheme must respect in the probe
+   above: batches in flight are limited by the batch size times the
+   thread count (each thread holds at most a partial batch plus the
+   sealed one being dismantled), plus per-thread retire lists for the
+   scan-based schemes. Anything past this means a stalled reader is
+   blocking reclamation. *)
+let robust_bound ~writers = (writers + 1) * 3 * 8
+
+let probe_all ?(seed = 3) ?(churn = 160) ?(writers = 2) () :
+    robustness list =
+  List.filter_map
+    (fun (name, (module S : SMR)) ->
+      if name = "Leaky" then None
+      else Some (robustness_probe ~seed ~churn ~writers ~name (module S)))
+    schemes

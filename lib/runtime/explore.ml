@@ -1,82 +1,469 @@
+type program = unit -> (unit -> unit) list * (unit -> bool)
+
+type fault = {
+  victim : int;
+  at_decision : int;
+  action : [ `Stall | `Kill ];
+  resume_at : int option;
+}
+
+let stall_at ?resume_at ~victim ~at () =
+  { victim; at_decision = at; action = `Stall; resume_at }
+
+let kill_at ~victim ~at () =
+  { victim; at_decision = at; action = `Kill; resume_at = None }
+
+type mode =
+  | Dfs
+  | Random_walk of { walks : int }
+  | Pct of { walks : int; change_points : int }
+
 type outcome =
   | Exhausted of int
   | Limit_reached of int
   | Violation of { schedule : int list; message : string }
 
-(* One run under a forced schedule: follow [prefix]; once exhausted,
-   always pick index 0. Records the decision made and the width of the
-   runnable set at each step, which is exactly what DFS backtracking
-   needs. *)
-let run_one program prefix ~max_steps =
+(* Raised by the DFS picker when every enabled thread at a node is in the
+   sleep set: the whole subtree is covered by sibling branches. *)
+exception Pruned
+
+type exec_result = {
+  verdict : (unit, string) result;
+  decisions : int list;  (* every scheduling choice made, in order *)
+}
+
+(* One run of [program] under [pick]. The picker receives the scheduler
+   (for runnable-set introspection) and the runnable width; faults are
+   applied by decision index through the scheduler's on-decision hook, so
+   a (pick, faults) pair determines the execution completely. *)
+let exec ?(faults = []) ~max_steps ~pick program =
+  Sim_cell.reset_ids ();
   let threads, post = program () in
   let sched = Scheduler.create () in
   List.iter (fun f -> ignore (Scheduler.spawn sched f)) threads;
-  let trace = ref [] in
-  (* (choice, width), reversed *)
-  let steps = ref 0 in
-  let remaining = ref prefix in
+  let decisions = ref [] in
+  let nsteps = ref 0 in
+  (* Set when a `Stall fault with no resume point has fired: the victim
+     staying parked at the end is then the fault model, not a deadlock. *)
+  let injected_stall = ref false in
+  Scheduler.set_on_decision sched
+    (Some
+       (fun () ->
+         let next = !nsteps + 1 in
+         List.iter
+           (fun f ->
+             if f.victim < 0 || f.victim >= Scheduler.thread_count sched then ()
+             else begin
+             if f.at_decision = next && Scheduler.state sched f.victim <> Scheduler.Done
+             then begin
+               match f.action with
+               | `Stall ->
+                   Scheduler.suspend sched f.victim;
+                   if f.resume_at = None then injected_stall := true
+               | `Kill -> Scheduler.kill sched f.victim
+             end;
+             match f.resume_at with
+             | Some r when r = next -> Scheduler.resume sched f.victim
+             | Some _ | None -> ()
+             end)
+           faults));
   Scheduler.set_picker sched
     (Some
        (fun width ->
-         incr steps;
-         if !steps > max_steps then
+         incr nsteps;
+         if !nsteps > max_steps then
            failwith "Explore: schedule exceeded max_steps";
-         let choice =
-           match !remaining with
-           | c :: rest ->
-               remaining := rest;
-               if c >= width then
-                 failwith "Explore: stale schedule (width shrank)"
-               else c
-           | [] -> 0
-         in
-         trace := (choice, width) :: !trace;
+         let choice = pick sched width in
+         decisions := choice :: !decisions;
          choice));
-  let result =
-    match Scheduler.run sched with
-    | Scheduler.All_finished ->
-        if post () then Ok () else Error "post-condition failed"
-    | Scheduler.Only_stalled -> Error "deadlock: only stalled threads remain"
-    | Scheduler.Budget_exhausted -> assert false
+  let verdict =
+    try
+      match Scheduler.run sched with
+      | Scheduler.All_finished ->
+          if post () then Ok () else Error "post-condition failed"
+      | Scheduler.Only_stalled ->
+          if !injected_stall then
+            (* Threads parked by the fault plan are expected leftovers;
+               judge the run by its post-condition. *)
+            if post () then Ok () else Error "post-condition failed"
+          else Error "deadlock: only stalled threads remain"
+      | Scheduler.Budget_exhausted -> assert false
+    with
+    | Pruned -> raise Pruned
+    | e -> Error (Printexc.to_string e)
   in
-  (result, List.rev !trace)
+  { verdict; decisions = List.rev !decisions }
 
-(* Next prefix in DFS order: deepest position whose choice can still be
-   incremented within its recorded width. *)
-let next_prefix trace =
-  let rec cut = function
-    | [] -> None
-    | (choice, width) :: earlier ->
-        if choice + 1 < width then Some (List.rev ((choice + 1, width) :: earlier))
-        else cut earlier
+(* ------------------------------------------------------------------ *)
+(* DFS with sleep-set pruning                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A scheduling alternative at a node: the thread occupying a runnable
+   slot, with the footprint of the operation it would perform. *)
+type edge = { e_tid : int; e_access : Scheduler.access option }
+
+(* Two edges commute iff their footprints touch different cells or are
+   both reads. Unknown footprints ([None] — a thread not yet started, or
+   a yield that carried no access) conservatively conflict with
+   everything, so pruning degrades gracefully rather than unsoundly.
+   NB: independence is judged on instrumented-cell footprints only; see
+   the .mli caveat about conflicts mediated by un-instrumented state. *)
+let independent a b =
+  match (a.e_access, b.e_access) with
+  | Some x, Some y ->
+      x.Scheduler.cell <> y.Scheduler.cell
+      || ((not x.Scheduler.write) && not y.Scheduler.write)
+  | _ -> false
+
+type frame = {
+  mutable choice : int;  (* slot taken at this node on the current path *)
+  width : int;
+  slots : edge array;
+  sleep : edge list;  (* sleep set on first arrival at this node *)
+  mutable explored : edge list;  (* edges already fully explored here *)
+}
+
+let dfs ~sleep_sets ~limit ~max_steps ~faults program =
+  (* The current path, root first. Frames persist across re-executions;
+     replaying a prefix is deterministic, so their recorded widths and
+     slots stay valid until truncated by backtracking. *)
+  let frames = ref (Array.make 64 None) in
+  let flen = ref 0 in
+  let frame_at d =
+    match !frames.(d) with Some f -> f | None -> assert false
   in
-  match cut (List.rev trace) with
-  | None -> None
-  | Some with_widths -> Some (List.map fst with_widths)
-
-let check ?(limit = 10_000) ?(max_steps = 100_000) program =
-  let rec dfs prefix explored =
-    if explored >= limit then Limit_reached explored
+  let push_frame fr =
+    if !flen = Array.length !frames then begin
+      let grown = Array.make (2 * !flen) None in
+      Array.blit !frames 0 grown 0 !flen;
+      frames := grown
+    end;
+    !frames.(!flen) <- Some fr;
+    incr flen
+  in
+  let runs = ref 0 in
+  let in_set tid set = List.exists (fun e -> e.e_tid = tid) set in
+  let rec attempt () =
+    if !runs >= limit then Limit_reached !runs
     else begin
-      match run_one program prefix ~max_steps with
-      | Ok (), trace -> (
-          match next_prefix trace with
-          | None -> Exhausted (explored + 1)
-          | Some prefix' -> dfs prefix' (explored + 1))
-      | Error message, trace ->
-          Violation { schedule = List.map fst trace; message }
-      | exception e ->
-          (* The run died mid-schedule (auditor exception, assertion...);
-             the partial trace is not recoverable from here, so report the
-             prefix we forced — replaying it deterministically reproduces
-             the failure because the suffix is all zeros. *)
-          Violation { schedule = prefix; message = Printexc.to_string e }
+      let prefix_len = !flen in
+      let depth = ref 0 in
+      let cur_sleep = ref [] in
+      let pick sched width =
+        let d = !depth in
+        let fr =
+          if d < prefix_len then begin
+            let fr = frame_at d in
+            if fr.width <> width then
+              failwith "Explore: nondeterministic program (width changed)";
+            fr
+          end
+          else begin
+            let slots =
+              Array.init width (fun i ->
+                  let tid = Scheduler.runnable_tid sched i in
+                  { e_tid = tid; e_access = Scheduler.next_access sched tid })
+            in
+            let sleep_entry = if sleep_sets then !cur_sleep else [] in
+            let rec first_awake i =
+              if i >= width then raise Pruned
+              else if in_set slots.(i).e_tid sleep_entry then
+                first_awake (i + 1)
+              else i
+            in
+            let fr =
+              {
+                choice = first_awake 0;
+                width;
+                slots;
+                sleep = sleep_entry;
+                explored = [];
+              }
+            in
+            push_frame fr;
+            fr
+          end
+        in
+        if sleep_sets then begin
+          let edge = fr.slots.(fr.choice) in
+          cur_sleep :=
+            List.filter
+              (fun e -> independent e edge)
+              (fr.sleep @ fr.explored)
+        end;
+        depth := d + 1;
+        fr.choice
+      in
+      match exec ~faults ~max_steps ~pick program with
+      | { verdict = Error message; decisions } ->
+          incr runs;
+          Violation { schedule = decisions; message }
+      | { verdict = Ok (); _ } ->
+          incr runs;
+          backtrack ()
+      | exception Pruned ->
+          incr runs;
+          backtrack ()
+    end
+  and backtrack () =
+    if !flen = 0 then Exhausted !runs
+    else begin
+      let fr = frame_at (!flen - 1) in
+      fr.explored <- fr.slots.(fr.choice) :: fr.explored;
+      let excluded tid = in_set tid fr.sleep || in_set tid fr.explored in
+      let rec next_candidate i =
+        if i >= fr.width then None
+        else if excluded fr.slots.(i).e_tid then next_candidate (i + 1)
+        else Some i
+      in
+      match next_candidate 0 with
+      | Some i ->
+          fr.choice <- i;
+          attempt ()
+      | None ->
+          decr flen;
+          !frames.(!flen) <- None;
+          backtrack ()
     end
   in
-  dfs [] 0
+  attempt ()
 
-let replay program schedule =
-  match run_one program schedule ~max_steps:max_int with
-  | Ok (), _ -> true
-  | Error _, _ -> false
-  | exception _ -> false
+(* ------------------------------------------------------------------ *)
+(* Randomized exploration                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-thread integer attribute (weight, priority), grown on demand and
+   assigned from the walk's RNG on first sight of each thread id — stable
+   within a walk, freshly drawn across walks. *)
+let make_attr rng draw =
+  let attr = ref [||] in
+  fun tid ->
+    let n = Array.length !attr in
+    if tid >= n then begin
+      let grown = Array.make (max 8 (2 * (tid + 1))) min_int in
+      Array.blit !attr 0 grown 0 n;
+      attr := grown
+    end;
+    if !attr.(tid) = min_int then !attr.(tid) <- draw rng;
+    !attr.(tid)
+
+(* Seeded weighted random walks: each walk draws a weight per thread and
+   picks runnable threads with probability proportional to weight. The
+   skew (some threads up to 8x likelier than others) drives executions
+   into unfair schedules — long runs of one thread against a starved
+   rival — that uniform random scheduling visits exponentially rarely. *)
+let random_walks ~walks ~seed ~max_steps ~faults program =
+  let rec go w =
+    if w > walks then Limit_reached walks
+    else begin
+      let rng = Random.State.make [| 0x5eed; seed; w |] in
+      let weight_of = make_attr rng (fun r -> 1 + Random.State.int r 7) in
+      let pick sched width =
+        let total = ref 0 in
+        for i = 0 to width - 1 do
+          total := !total + weight_of (Scheduler.runnable_tid sched i)
+        done;
+        let r = ref (Random.State.int rng !total) in
+        let rec find i =
+          let wt = weight_of (Scheduler.runnable_tid sched i) in
+          if !r < wt || i = width - 1 then i
+          else begin
+            r := !r - wt;
+            find (i + 1)
+          end
+        in
+        find 0
+      in
+      match exec ~faults ~max_steps ~pick program with
+      | { verdict = Error message; decisions } ->
+          Violation { schedule = decisions; message }
+      | { verdict = Ok (); _ } -> go (w + 1)
+    end
+  in
+  go 1
+
+(* PCT (Burckhardt et al., ASPLOS'10): each walk assigns every thread a
+   random priority and always runs the highest-priority runnable thread;
+   at [change_points] randomly chosen decision indices the running
+   thread's priority drops below everything seen so far. A bug of depth d
+   is found with probability >= 1/(n * k^(d-1)) per walk — much better
+   than uniform random for ordering bugs. The change-point horizon adapts
+   to the lengths of previous walks. *)
+let pct_walks ~walks ~change_points ~seed ~max_steps ~faults program =
+  let horizon = ref 64 in
+  let rec go w =
+    if w > walks then Limit_reached walks
+    else begin
+      let rng = Random.State.make [| 0x9c7; seed; w |] in
+      let cps =
+        Array.init change_points (fun _ ->
+            1 + Random.State.int rng (max 1 !horizon))
+      in
+      let demoted = ref 0 in
+      let prio = ref [||] in
+      let prio_of tid =
+        let n = Array.length !prio in
+        if tid >= n then begin
+          let grown = Array.make (max 8 (2 * (tid + 1))) min_int in
+          Array.blit !prio 0 grown 0 n;
+          prio := grown
+        end;
+        if !prio.(tid) = min_int then
+          !prio.(tid) <- 1 + Random.State.int rng 1_000_000;
+        !prio.(tid)
+      in
+      let n = ref 0 in
+      let pick sched width =
+        incr n;
+        let argmax () =
+          let best = ref 0 in
+          for i = 1 to width - 1 do
+            if
+              prio_of (Scheduler.runnable_tid sched i)
+              > prio_of (Scheduler.runnable_tid sched !best)
+            then best := i
+          done;
+          !best
+        in
+        let best = argmax () in
+        if Array.exists (fun c -> c = !n) cps then begin
+          decr demoted;
+          !prio.(Scheduler.runnable_tid sched best) <- !demoted;
+          argmax ()
+        end
+        else best
+      in
+      match exec ~faults ~max_steps ~pick program with
+      | { verdict = Error message; decisions } ->
+          Violation { schedule = decisions; message }
+      | { verdict = Ok (); decisions } ->
+          horizon := max !horizon (List.length decisions);
+          go (w + 1)
+    end
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let default_limit = 10_000
+let default_max_steps = 100_000
+
+let check ?(limit = default_limit) ?(max_steps = default_max_steps)
+    ?(faults = []) ?(sleep_sets = true) program =
+  dfs ~sleep_sets ~limit ~max_steps ~faults program
+
+let explore ?(mode = Dfs) ?(seed = 0) ?(limit = default_limit)
+    ?(max_steps = default_max_steps) ?(faults = []) program =
+  match mode with
+  | Dfs -> dfs ~sleep_sets:true ~limit ~max_steps ~faults program
+  | Random_walk { walks } ->
+      random_walks ~walks ~seed ~max_steps ~faults program
+  | Pct { walks; change_points } ->
+      pct_walks ~walks ~change_points ~seed ~max_steps ~faults program
+
+(* Follow a recorded schedule exactly; past its end always pick slot 0
+   (recorded schedules omit a forced all-zeros suffix). *)
+let replay_outcome ?faults program schedule =
+  let remaining = ref schedule in
+  let pick _sched width =
+    match !remaining with
+    | c :: rest ->
+        remaining := rest;
+        if c >= width then failwith "Explore: stale schedule (width shrank)"
+        else c
+    | [] -> 0
+  in
+  (exec ?faults ~max_steps:max_int ~pick program).verdict
+
+let replay ?faults program schedule =
+  match replay_outcome ?faults program schedule with
+  | Ok () -> true
+  | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample shrinking                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec drop_trailing_zeros = function
+  | [] -> []
+  | x :: rest -> (
+      match drop_trailing_zeros rest with
+      | [] when x = 0 -> []
+      | rest' -> x :: rest')
+
+(* Lenient replay for shrink candidates: out-of-range choices are clamped
+   into the runnable set instead of failing, so deleting decisions (which
+   shifts widths) still yields a deterministic run. The decisions
+   actually taken are returned as the candidate's canonical form. *)
+let exec_clamped ?faults program schedule =
+  let remaining = ref schedule in
+  let pick _sched width =
+    match !remaining with
+    | c :: rest ->
+        remaining := rest;
+        min (max c 0) (width - 1)
+    | [] -> 0
+  in
+  exec ?faults ~max_steps:max_int ~pick program
+
+let shrink ?faults ?(budget = 2_000) program schedule =
+  let target =
+    match exec_clamped ?faults program schedule with
+    | { verdict = Error m; _ } -> m
+    | { verdict = Ok (); _ } ->
+        invalid_arg "Explore.shrink: schedule does not fail"
+  in
+  let runs = ref 0 in
+  (* Accept a candidate only if it reproduces the same failure message;
+     its canonical form is the decisions actually taken, sans the forced
+     zero suffix. *)
+  let accepts cand =
+    if !runs >= budget then None
+    else begin
+      incr runs;
+      match exec_clamped ?faults program cand with
+      | { verdict = Error m; decisions } when String.equal m target ->
+          Some (drop_trailing_zeros decisions)
+      | _ -> None
+    end
+  in
+  (* Strictly decreasing measure, so the fixpoint loop terminates. *)
+  let measure s = (List.length s, List.fold_left ( + ) 0 s) in
+  let best = ref (drop_trailing_zeros schedule) in
+  let improved = ref true in
+  let consider cand =
+    match accepts cand with
+    | Some c when measure c < measure !best ->
+        best := c;
+        improved := true;
+        true
+    | _ -> false
+  in
+  let without s lo len =
+    List.filteri (fun i _ -> i < lo || i >= lo + len) s
+  in
+  let with_nth s i v = List.mapi (fun j x -> if j = i then v else x) s in
+  while !improved && !runs < budget do
+    improved := false;
+    (* Chunk deletion, halving chunk sizes. *)
+    let size = ref (max 1 (List.length !best / 2)) in
+    while !size >= 1 do
+      let i = ref 0 in
+      while !i + !size <= List.length !best do
+        if not (consider (without !best !i !size)) then i := !i + 1
+      done;
+      size := !size / 2
+    done;
+    (* Point lowering: prefer slot 0, else one step down. *)
+    let i = ref 0 in
+    while !i < List.length !best do
+      let v = List.nth !best !i in
+      if v > 0 then
+        if not (consider (with_nth !best !i 0)) then
+          ignore (consider (with_nth !best !i (v - 1)));
+      i := !i + 1
+    done
+  done;
+  !best

@@ -1,14 +1,37 @@
-(** Bounded exhaustive schedule exploration — a small stateless model
-    checker over {!Scheduler} in the style of dscheck.
+(** Schedule exploration over {!Scheduler} — a small stateless model
+    checker in the style of dscheck, extended with randomized modes,
+    fault injection and counterexample shrinking.
 
     A {i program} builds a fresh instance of the system under test and
     returns the thread bodies plus a post-condition. The explorer replays
-    the program under every schedule (depth-first over the tree of
-    scheduling decisions, without partial-order reduction), up to a
-    schedule budget. The node-lifecycle auditor turns SMR bugs into
-    exceptions, so for small programs this is an exhaustive safety proof
-    over all interleavings; for larger ones, a systematic sweep of a
-    prefix of the tree.
+    the program under many schedules; the node-lifecycle auditor turns
+    SMR bugs into exceptions, so a violation is either an auditor
+    exception, a deadlock, or a failed post-condition.
+
+    Three exploration modes share one program/outcome API:
+
+    - {b DFS} — depth-first over the tree of scheduling decisions with
+      {i sleep-set pruning}: after a branch is fully explored, sibling
+      branches skip schedules that differ from it only by commuting
+      adjacent operations (same-cell conflicts and writes never commute).
+      Independence is judged on the cell footprints reported by
+      {!Sim_cell}, so pruning is exact for races mediated by instrumented
+      cells — which is every race the simulated structures can express in
+      shared memory — and conservative (no pruning) where a footprint is
+      unknown. Pass [~sleep_sets:false] to {!check} for the unpruned
+      tree.
+    - {b Random walks} — seeded, weighted: each walk draws a per-thread
+      weight, biasing schedules toward unfair executions.
+    - {b PCT} — priority-based probabilistic concurrency testing
+      (Burckhardt et al.): random thread priorities with a few random
+      priority-change points; gives a per-walk detection guarantee for
+      bugs of bounded depth.
+
+    A {i fault plan} injects scheduler-level faults at given decision
+    indices: stalling a thread (it keeps its guards and half-done
+    operation — the paper's stalled-thread robustness model) or killing
+    it outright. Replays apply the same plan, so counterexamples found
+    under faults stay replayable.
 
     Example — every interleaving of two pushes and a pop:
 
@@ -25,25 +48,85 @@
       | ...
     ]} *)
 
+type program = unit -> (unit -> unit) list * (unit -> bool)
+(** Builds a fresh system under test: thread bodies (spawned in order, so
+    thread ids are list positions) and a post-condition evaluated after
+    the run. *)
+
+(** One injected fault. [at_decision] is the 1-based index of the
+    scheduling decision immediately after the fault takes effect;
+    injection is a no-op if the victim does not exist or has finished. *)
+type fault = {
+  victim : int;  (** thread id (position in the program's thread list) *)
+  at_decision : int;
+  action : [ `Stall | `Kill ];
+  resume_at : int option;
+      (** for [`Stall]: decision index at which the victim is released;
+          [None] parks it forever (the Fig. 10a robustness model) *)
+}
+
+val stall_at : ?resume_at:int -> victim:int -> at:int -> unit -> fault
+val kill_at : victim:int -> at:int -> unit -> fault
+
+type mode =
+  | Dfs  (** sleep-set-pruned exhaustive DFS, bounded by [limit] *)
+  | Random_walk of { walks : int }  (** seeded weighted random walks *)
+  | Pct of { walks : int; change_points : int }
+      (** PCT: random priorities with [change_points] priority drops *)
+
 type outcome =
   | Exhausted of int
-      (** the whole schedule tree was explored; carries the count *)
-  | Limit_reached of int  (** budget ran out after this many schedules *)
+      (** the whole (pruned) schedule tree was explored; carries the
+          number of executions — DFS only *)
+  | Limit_reached of int
+      (** the execution budget ran out: [limit] schedules for DFS, the
+          requested number of walks for the randomized modes *)
   | Violation of { schedule : int list; message : string }
-      (** a schedule raised or failed the post-condition; [schedule] is
-          the exact sequence of runnable-set indices to replay it *)
+      (** a schedule raised, deadlocked or failed the post-condition;
+          [schedule] is the exact sequence of runnable-slot indices to
+          replay it (under the same fault plan) *)
 
 val check :
   ?limit:int ->
   ?max_steps:int ->
-  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  ?faults:fault list ->
+  ?sleep_sets:bool ->
+  program ->
   outcome
-(** [check program] explores schedules depth-first. [limit] bounds the
-    number of schedules (default 10_000); [max_steps] bounds a single
-    schedule's length (default 100_000 decisions — hitting it is reported
-    as a violation, since programs must terminate). *)
+(** [check program] explores schedules depth-first with sleep-set pruning
+    (disable with [~sleep_sets:false] for the raw tree). [limit] bounds
+    the number of executions (default 10_000); [max_steps] bounds a
+    single schedule's length (default 100_000 decisions — hitting it is
+    reported as a violation, since programs must terminate). *)
 
-val replay :
-  (unit -> (unit -> unit) list * (unit -> bool)) -> int list -> bool
+val explore :
+  ?mode:mode ->
+  ?seed:int ->
+  ?limit:int ->
+  ?max_steps:int ->
+  ?faults:fault list ->
+  program ->
+  outcome
+(** Mode-dispatching front end: [Dfs] (the default) behaves like
+    {!check}; the randomized modes run their [walks] executions with
+    schedules derived from [seed] (walks are independently seeded, so
+    [seed] plus the walk number reproduces any single walk). *)
+
+val replay : ?faults:fault list -> program -> int list -> bool
 (** Re-run one schedule (as reported by [Violation]); returns the
-    post-condition's verdict. Useful for shrinking and debugging. *)
+    post-condition's verdict ([false] on any failure). *)
+
+val replay_outcome :
+  ?faults:fault list -> program -> int list -> (unit, string) result
+(** Like {!replay} but returns the failure message — byte-identical
+    across replays of the same schedule, which is what the regression
+    suite pins down. *)
+
+val shrink :
+  ?faults:fault list -> ?budget:int -> program -> int list -> int list
+(** Minimize a violating schedule while preserving its exact failure
+    message: greedy chunk deletion (delta-debugging style) plus
+    per-decision lowering toward slot 0, iterated to a fixpoint or until
+    [budget] replays (default 2000) are spent. The result replays to the
+    same failure and is at most as long as the input. Raises
+    [Invalid_argument] if the input schedule does not fail. *)

@@ -1,4 +1,10 @@
-type _ Effect.t += Step : int -> unit Effect.t
+(* A shared-memory access footprint, reported by instrumented cells at
+   each yield point. [cell] is the cell's per-run unique id; [write] is
+   true for any mutating operation (stores, CAS, FAA, swap). The explorer
+   uses footprints to decide which scheduling choices commute. *)
+type access = { cell : int; write : bool }
+
+type _ Effect.t += Step : int * access option -> unit Effect.t
 type _ Effect.t += Stall : unit Effect.t
 
 type status =
@@ -11,6 +17,10 @@ type thread = {
   tid : int;
   mutable status : status;
   mutable run_pos : int;  (* index in [runnable], or -1 *)
+  mutable suspended : bool;  (* externally parked by fault injection *)
+  mutable next_access : access option;
+      (* footprint of the operation this thread performs when next
+         resumed; [None] for unknown (conservatively dependent) *)
 }
 
 type outcome = All_finished | Budget_exhausted | Only_stalled
@@ -24,6 +34,11 @@ type event =
   | Ev_stall of { tid : int; at : int }
   | Ev_unstall of { tid : int; at : int }
   | Ev_finish of { tid : int; at : int }
+  | Ev_suspend of { tid : int; at : int }
+  | Ev_resume of { tid : int; at : int }
+  | Ev_kill of { tid : int; at : int }
+
+type thread_state = Runnable | Stalled | Suspended | Done
 
 type t = {
   rng : Random.State.t;
@@ -37,6 +52,11 @@ type t = {
   mutable pick_fn : (int -> int) option;
       (* when set, [pick_fn width] chooses the runnable index instead of
          the RNG — the hook the exhaustive explorer drives *)
+  mutable on_decision : (unit -> unit) option;
+      (* fired at the top of every run-loop iteration, before the
+         runnable set is inspected — the fault-injection hook: it may
+         suspend, resume or kill threads and the decision that follows
+         sees the updated runnable set *)
   mutable tracer : (event -> unit) option;
 }
 
@@ -44,7 +64,9 @@ type t = {
    single-domain by construction, so a plain ref is safe. *)
 let active : t option ref = ref None
 
-let dummy_thread = { tid = -1; status = Finished; run_pos = -1 }
+let dummy_thread =
+  { tid = -1; status = Finished; run_pos = -1; suspended = false;
+    next_access = None }
 
 let create ?(seed = 42) () =
   {
@@ -57,6 +79,7 @@ let create ?(seed = 42) () =
     clock = 0;
     current = -1;
     pick_fn = None;
+    on_decision = None;
     tracer = None;
   }
 
@@ -92,7 +115,10 @@ let spawn t f =
     Array.blit t.threads 0 grown 0 tid;
     t.threads <- grown
   end;
-  let th = { tid; status = Not_started f; run_pos = -1 } in
+  let th =
+    { tid; status = Not_started f; run_pos = -1; suspended = false;
+      next_access = None }
+  in
   t.threads.(tid) <- th;
   t.count <- t.count + 1;
   t.live <- t.live + 1;
@@ -107,7 +133,8 @@ let self () =
 
 let inside () = match !active with Some t -> t.current >= 0 | None -> false
 
-let step cost = if inside () then Effect.perform (Step cost)
+let step ?access cost =
+  if inside () then Effect.perform (Step (cost, access))
 
 let stall () =
   if inside () then Effect.perform Stall
@@ -119,26 +146,88 @@ let unstall t tid =
   match th.status with
   | Stalled_at k ->
       th.status <- Paused k;
-      push_runnable t th;
+      if not th.suspended then push_runnable t th;
       emit t (Ev_unstall { tid; at = t.clock })
   | Not_started _ | Paused _ | Finished -> ()
 
+let check_tid t tid ~what =
+  if tid < 0 || tid >= t.count then
+    invalid_arg (Printf.sprintf "Scheduler.%s: bad tid %d" what tid)
+
+(* Externally park a thread: it stays in whatever status it had but is
+   never scheduled until [resume]. Models a thread preempted by the OS
+   (or crashed-but-holding-state) at its current yield point — the fault
+   the paper's robustness bounds are stated against. *)
+let suspend t tid =
+  check_tid t tid ~what:"suspend";
+  let th = t.threads.(tid) in
+  if (not th.suspended) && th.status <> Finished then begin
+    th.suspended <- true;
+    if th.run_pos >= 0 then drop_runnable t th;
+    emit t (Ev_suspend { tid; at = t.clock })
+  end
+
+let resume t tid =
+  check_tid t tid ~what:"resume";
+  let th = t.threads.(tid) in
+  if th.suspended then begin
+    th.suspended <- false;
+    (match th.status with
+    | Not_started _ | Paused _ -> push_runnable t th
+    | Stalled_at _ | Finished -> ());
+    emit t (Ev_resume { tid; at = t.clock })
+  end
+
+(* Permanently discard a thread. Its continuation (if any) is dropped, so
+   thread-local state is abandoned in place — exactly what a crashed
+   thread leaves behind. The thread counts as finished afterwards, so a
+   run whose other threads complete still reports [All_finished]. *)
+let kill t tid =
+  check_tid t tid ~what:"kill";
+  let th = t.threads.(tid) in
+  if th.status <> Finished then begin
+    if th.run_pos >= 0 then drop_runnable t th;
+    th.status <- Finished;
+    th.suspended <- false;
+    t.live <- t.live - 1;
+    emit t (Ev_kill { tid; at = t.clock })
+  end
+
 let live_threads t = t.live
 let now t = t.clock
+let thread_count t = t.count
+let runnable_width t = t.runnable_count
+
+let runnable_tid t i =
+  if i < 0 || i >= t.runnable_count then
+    invalid_arg "Scheduler.runnable_tid: out of range";
+  t.runnable.(i).tid
+
+let next_access t tid =
+  check_tid t tid ~what:"next_access";
+  t.threads.(tid).next_access
+
+let state t tid =
+  check_tid t tid ~what:"state";
+  let th = t.threads.(tid) in
+  if th.status = Finished then Done
+  else if th.suspended then Suspended
+  else match th.status with Stalled_at _ -> Stalled | _ -> Runnable
 
 (* Run one thread until its next yield point, completion, or stall. The
    deep handler stays installed for the whole fiber, so resuming a paused
    continuation re-enters it on the next effect. *)
-let resume t th =
+let resume_thread t th =
   t.current <- th.tid;
   let on_effect : type a.
       a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
     function
-    | Step cost ->
+    | Step (cost, access) ->
         Some
           (fun k ->
             t.clock <- t.clock + cost;
             th.status <- Paused k;
+            th.next_access <- access;
             emit t (Ev_step { tid = th.tid; cost; at = t.clock }))
     | Stall ->
         Some
@@ -163,6 +252,7 @@ let resume t th =
   (match th.status with
   | Finished ->
       t.live <- t.live - 1;
+      th.next_access <- None;
       if th.run_pos >= 0 then drop_runnable t th;
       emit t (Ev_finish { tid = th.tid; at = t.clock })
   | Not_started _ | Paused _ | Stalled_at _ -> ());
@@ -173,6 +263,7 @@ let run ?(budget = max_int) t =
   active := Some t;
   let deadline = if budget = max_int then max_int else t.clock + budget in
   let rec loop () =
+    (match t.on_decision with None -> () | Some f -> f ());
     if t.live = 0 then All_finished
     else if t.clock >= deadline then Budget_exhausted
     else if t.runnable_count = 0 then Only_stalled
@@ -187,11 +278,12 @@ let run ?(budget = max_int) t =
         | None -> Random.State.int t.rng t.runnable_count
       in
       let th = t.runnable.(index) in
-      resume t th;
+      resume_thread t th;
       loop ()
     end
   in
   Fun.protect ~finally:(fun () -> active := previous) loop
 
 let set_picker t f = t.pick_fn <- f
+let set_on_decision t f = t.on_decision <- f
 let set_tracer t f = t.tracer <- f

@@ -10,7 +10,11 @@
     the atomic operations it performs.
 
     A thread may park itself forever with {!stall} (used by the robustness
-    experiments, Fig. 10a) and be revived with {!unstall}. *)
+    experiments, Fig. 10a) and be revived with {!unstall}. Threads can
+    also be parked {e from outside} with {!suspend}/{!resume} or discarded
+    with {!kill} — the fault-injection hooks {!Explore} uses to model
+    preempted and crashed threads without any cooperation from the code
+    under test. *)
 
 type t
 
@@ -18,6 +22,12 @@ type outcome =
   | All_finished  (** every spawned thread ran to completion *)
   | Budget_exhausted  (** the time budget ran out first *)
   | Only_stalled  (** all remaining threads are stalled — a livelock *)
+
+type access = { cell : int; write : bool }
+(** Footprint of one shared-memory operation: the accessed cell's per-run
+    id and whether the operation mutates it. Reported by instrumented
+    cells via {!step}; two operations commute iff they touch different
+    cells or are both reads. *)
 
 (** Trace events emitted to the optional sink installed with
     {!set_tracer}. [at] is the scheduler clock when the event fired. *)
@@ -28,6 +38,16 @@ type event =
   | Ev_stall of { tid : int; at : int }
   | Ev_unstall of { tid : int; at : int }
   | Ev_finish of { tid : int; at : int }
+  | Ev_suspend of { tid : int; at : int }  (** fault-injected park *)
+  | Ev_resume of { tid : int; at : int }  (** fault-injected unpark *)
+  | Ev_kill of { tid : int; at : int }  (** fault-injected crash *)
+
+(** Coarse per-thread state, for explorers and fault planners. *)
+type thread_state =
+  | Runnable  (** in the runnable set (possibly not yet started) *)
+  | Stalled  (** parked itself with {!stall} *)
+  | Suspended  (** externally parked with {!suspend} *)
+  | Done  (** finished or killed *)
 
 val create : ?seed:int -> unit -> t
 (** Fresh scheduler. [seed] defaults to 42. *)
@@ -46,16 +66,33 @@ val run : ?budget:int -> t -> outcome
 val now : t -> int
 (** Accumulated cost units consumed so far. *)
 
-val step : int -> unit
+val step : ?access:access -> int -> unit
 (** Called by instrumented cells from inside a thread: charge [cost] units
-    and yield. Outside any scheduler this is a no-op, so simulated
-    structures remain usable from plain sequential code and unit tests. *)
+    and yield, optionally reporting the footprint of the operation the
+    thread will perform when next resumed. Outside any scheduler this is a
+    no-op, so simulated structures remain usable from plain sequential
+    code and unit tests. *)
 
 val stall : unit -> unit
 (** Park the calling thread until {!unstall}. *)
 
 val unstall : t -> int -> unit
-(** Make a stalled thread runnable again. *)
+(** Make a stalled thread runnable again (unless it is also
+    {!suspend}ed, in which case it additionally needs {!resume}). *)
+
+val suspend : t -> int -> unit
+(** Fault injection: park a thread from outside at its current yield
+    point. It keeps all held state (guards, half-done operations) but is
+    never scheduled until {!resume}. No-op on finished threads. *)
+
+val resume : t -> int -> unit
+(** Undo {!suspend}. No-op unless the thread is currently suspended. *)
+
+val kill : t -> int -> unit
+(** Fault injection: permanently discard a thread, dropping its
+    continuation — the thread never runs again and its state is abandoned
+    in place, like a crash. The thread counts as finished, so the
+    remaining threads can still reach [All_finished]. *)
 
 val self : unit -> int
 (** Id of the running thread. Raises [Invalid_argument] outside a run. *)
@@ -66,10 +103,37 @@ val inside : unit -> bool
 val live_threads : t -> int
 (** Threads spawned and not yet finished (stalled ones included). *)
 
+val thread_count : t -> int
+(** Total threads ever spawned on this scheduler. *)
+
+val state : t -> int -> thread_state
+(** Coarse state of thread [tid]. *)
+
+val runnable_width : t -> int
+(** Size of the current runnable set. *)
+
+val runnable_tid : t -> int -> int
+(** [runnable_tid t i] is the thread id occupying runnable slot [i]
+    ([0 <= i < runnable_width t]). Slot order is deterministic for a
+    deterministic execution, which is what lets explorers record
+    schedules as slot indices. *)
+
+val next_access : t -> int -> access option
+(** The footprint of the operation thread [tid] performs when next
+    resumed, as reported by its last {!step}. [None] when unknown
+    (not yet started, or the last yield carried no footprint) — callers
+    must treat unknown as conflicting with everything. *)
+
 val set_picker : t -> (int -> int) option -> unit
 (** Override the random scheduling decision: [f width] must return an
     index in [0, width). Used by {!Explore} to enumerate schedules
     systematically; [None] restores seeded random scheduling. *)
+
+val set_on_decision : t -> (unit -> unit) option -> unit
+(** Install a hook fired at the top of every {!run}-loop iteration,
+    before the runnable set is inspected. The hook may call {!suspend},
+    {!resume}, {!unstall} or {!kill}; the decision that follows sees the
+    updated runnable set. This is the fault-injection entry point. *)
 
 val set_tracer : t -> (event -> unit) option -> unit
 (** Install (or remove, with [None]) an event sink. With no sink the

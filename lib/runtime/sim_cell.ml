@@ -113,31 +113,42 @@ let total_cost c =
   c.read_cost + c.write_cost + c.plain_write_cost + c.cas_cost + c.faa_cost
   + c.swap_cost
 
-type 'a t = { mutable v : 'a }
+type 'a t = { id : int; mutable v : 'a }
 
-let make v = { v }
+(* Cell ids feed the explorer's independence relation (two operations
+   commute iff they touch different cells or are both reads). Creation
+   order is deterministic under the deterministic scheduler, so ids are
+   stable across replays of the same schedule prefix; [reset_ids] lets a
+   stateless explorer restart numbering for every re-execution. *)
+let id_counter = ref 0
+
+let reset_ids () = id_counter := 0
+
+let make v =
+  incr id_counter;
+  { id = !id_counter; v }
 
 let get c =
-  Scheduler.step !costs.read;
+  Scheduler.step ~access:{ cell = c.id; write = false } !costs.read;
   counts.reads <- counts.reads + 1;
   counts.read_cost <- counts.read_cost + !costs.read;
   c.v
 
 let set c v =
-  Scheduler.step !costs.write;
+  Scheduler.step ~access:{ cell = c.id; write = true } !costs.write;
   counts.writes <- counts.writes + 1;
   counts.write_cost <- counts.write_cost + !costs.write;
   c.v <- v
 
 (* Pre-publication store: no ordering needed, plain-store price. *)
 let set_plain c v =
-  Scheduler.step !costs.read;
+  Scheduler.step ~access:{ cell = c.id; write = true } !costs.read;
   counts.plain_writes <- counts.plain_writes + 1;
   counts.plain_write_cost <- counts.plain_write_cost + !costs.read;
   c.v <- v
 
 let exchange c v =
-  Scheduler.step !costs.swap;
+  Scheduler.step ~access:{ cell = c.id; write = true } !costs.swap;
   counts.swaps <- counts.swaps + 1;
   counts.swap_cost <- counts.swap_cost + !costs.swap;
   let old = c.v in
@@ -145,7 +156,7 @@ let exchange c v =
   old
 
 let compare_and_set c expected desired =
-  Scheduler.step !costs.cas;
+  Scheduler.step ~access:{ cell = c.id; write = true } !costs.cas;
   counts.cas_cost <- counts.cas_cost + !costs.cas;
   if c.v == expected then begin
     counts.cas_ok <- counts.cas_ok + 1;
@@ -158,7 +169,7 @@ let compare_and_set c expected desired =
   end
 
 let fetch_and_add c d =
-  Scheduler.step !costs.faa;
+  Scheduler.step ~access:{ cell = c.id; write = true } !costs.faa;
   counts.faas <- counts.faas + 1;
   counts.faa_cost <- counts.faa_cost + !costs.faa;
   let old = c.v in

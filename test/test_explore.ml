@@ -86,11 +86,166 @@ let test_hyaline1_exhaustive () =
 let test_hyaline_s_exhaustive () =
   exhaustive_reclamation (module Hyaline_s) "hyaline-s"
 
+(* -- sleep sets ---------------------------------------------------------- *)
+
+(* Pruning must preserve verdicts while exploring no MORE executions
+   than the raw tree: same violation found on the racy counter, same
+   clean exhaustion on the CAS counter, fewer or equal runs. *)
+let test_sleep_sets_sound_and_lean () =
+  let racy_program () =
+    let c = Cell.make 0 in
+    let bump () = Cell.set c (Cell.get c + 1) in
+    ([ bump; bump ], fun () -> Cell.get c = 2)
+  in
+  (match Explore.check ~sleep_sets:false ~limit:1_000 racy_program with
+  | Explore.Violation _ -> ()
+  | _ -> Alcotest.fail "raw DFS missed the lost update");
+  (match Explore.check ~sleep_sets:true ~limit:1_000 racy_program with
+  | Explore.Violation _ -> ()
+  | _ -> Alcotest.fail "pruned DFS missed the lost update");
+  let cas_program () =
+    let c = Cell.make 0 in
+    let rec bump () =
+      let v = Cell.get c in
+      if not (Cell.compare_and_set c v (v + 1)) then bump ()
+    in
+    ([ bump; bump ], fun () -> Cell.get c = 2)
+  in
+  let runs label outcome =
+    match outcome with
+    | Explore.Exhausted n -> n
+    | _ -> Alcotest.fail (label ^ ": CAS counter did not exhaust")
+  in
+  let raw =
+    runs "raw" (Explore.check ~sleep_sets:false ~limit:500_000 cas_program)
+  in
+  let pruned =
+    runs "pruned" (Explore.check ~sleep_sets:true ~limit:500_000 cas_program)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned %d <= raw %d executions" pruned raw)
+    true (pruned <= raw);
+  (* Disjoint cells commute: two independent writers' schedules mostly
+     collapse. (Not all the way to 1 — a thread's footprint is unknown
+     until it reaches its first step, and pruning is conservative
+     there.) *)
+  let disjoint_program () =
+    let a = Cell.make 0 and b = Cell.make 0 in
+    let writer c () =
+      Cell.set c 1;
+      Cell.set c 2
+    in
+    ( [ writer a; writer b ],
+      fun () -> Cell.get a = 2 && Cell.get b = 2 )
+  in
+  let raw =
+    runs "disjoint raw"
+      (Explore.check ~sleep_sets:false ~limit:10_000 disjoint_program)
+  in
+  let pruned =
+    runs "disjoint pruned" (Explore.check ~limit:10_000 disjoint_program)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "independent writes pruned (%d < %d)" pruned raw)
+    true (pruned < raw)
+
+(* -- fault injection ----------------------------------------------------- *)
+
+(* A permanent stall parks the victim with its work undone: the
+   post-condition must be evaluated anyway (no deadlock verdict), and
+   must see the victim's missing effects. *)
+let test_fault_stall_forever () =
+  let victim_ran = ref false in
+  let program () =
+    let c = Cell.make 0 in
+    victim_ran := false;
+    ( [
+        (fun () ->
+          Cell.set c 1;
+          victim_ran := true);
+        (fun () -> Cell.set c 2);
+      ],
+      fun () -> (not !victim_ran) && Cell.get c = 2 )
+  in
+  let faults = [ Explore.stall_at ~victim:0 ~at:1 () ] in
+  match Explore.check ~faults ~limit:1_000 program with
+  | Explore.Exhausted _ | Explore.Limit_reached _ -> ()
+  | Explore.Violation { message; _ } ->
+      Alcotest.fail ("stalled victim still ran: " ^ message)
+
+(* A stall with a resume point releases the victim: its effects must be
+   back — in EVERY schedule, or the resume path has a hole. *)
+let test_fault_stall_resume () =
+  let program () =
+    let a = Cell.make 0 and b = Cell.make 0 in
+    ( [ (fun () -> Cell.set a 1); (fun () -> Cell.set b 1) ],
+      fun () -> Cell.get a = 1 && Cell.get b = 1 )
+  in
+  let faults = [ Explore.stall_at ~victim:0 ~at:1 ~resume_at:3 () ] in
+  match Explore.check ~faults ~limit:1_000 program with
+  | Explore.Exhausted _ | Explore.Limit_reached _ -> ()
+  | Explore.Violation { message; _ } ->
+      Alcotest.fail ("resumed victim lost its effects: " ^ message)
+
+(* A kill drops the victim entirely; the run still counts as finished. *)
+let test_fault_kill () =
+  let program () =
+    let c = Cell.make 0 in
+    ( [ (fun () -> Cell.set c 1); (fun () -> Cell.set c 2) ],
+      fun () -> Cell.get c = 2 )
+  in
+  let faults = [ Explore.kill_at ~victim:0 ~at:1 () ] in
+  match Explore.check ~faults ~limit:1_000 program with
+  | Explore.Exhausted _ | Explore.Limit_reached _ -> ()
+  | Explore.Violation { message; _ } ->
+      Alcotest.fail ("killed victim still wrote: " ^ message)
+
+(* -- replay determinism (regression) ------------------------------------- *)
+
+(* A violating schedule must replay to the byte-identical failure
+   message, every time, before AND after shrinking — this is what makes
+   trace files trustworthy. *)
+let replay_twice name program schedule expected =
+  let once = Explore.replay_outcome program schedule in
+  let twice = Explore.replay_outcome program schedule in
+  match (once, twice) with
+  | Error a, Error b ->
+      Alcotest.(check string) (name ^ ": deterministic message") a b;
+      Alcotest.(check string) (name ^ ": matches the original") expected a
+  | Ok (), _ | _, Ok () -> Alcotest.fail (name ^ ": replay did not fail")
+
+let test_replay_deterministic () =
+  let program () =
+    let c = Cell.make 0 in
+    let bump () = Cell.set c (Cell.get c + 1) in
+    ([ bump; bump; bump ], fun () -> Cell.get c = 3)
+  in
+  (* find it with the fuzzer, not DFS, so the schedule is a "wild" one *)
+  match
+    Explore.explore ~mode:(Explore.Random_walk { walks = 200 }) ~seed:5
+      program
+  with
+  | Explore.Violation { schedule; message } ->
+      replay_twice "raw" program schedule message;
+      let shrunk = Explore.shrink program schedule in
+      Alcotest.(check bool) "shrinking did not grow the schedule" true
+        (List.length shrunk <= List.length schedule);
+      replay_twice "shrunk" program shrunk message
+  | Explore.Exhausted _ | Explore.Limit_reached _ ->
+      Alcotest.fail "fuzzer missed the lost update"
+
 let suite =
   [
     Alcotest.test_case "finds-lost-update" `Quick test_finds_lost_update;
     Alcotest.test_case "cas-counter-exhaustive" `Quick
       test_cas_counter_exhaustive;
+    Alcotest.test_case "sleep-sets-sound-and-lean" `Quick
+      test_sleep_sets_sound_and_lean;
+    Alcotest.test_case "fault-stall-forever" `Quick test_fault_stall_forever;
+    Alcotest.test_case "fault-stall-resume" `Quick test_fault_stall_resume;
+    Alcotest.test_case "fault-kill" `Quick test_fault_kill;
+    Alcotest.test_case "replay-deterministic" `Quick
+      test_replay_deterministic;
     Alcotest.test_case "hyaline-exhaustive" `Slow test_hyaline_exhaustive;
     Alcotest.test_case "hyaline-llsc-exhaustive" `Slow
       test_hyaline_llsc_exhaustive;

@@ -4,6 +4,7 @@
     hand-crafted non-linearizable history is the negative control. *)
 
 module Sched = Smr_runtime.Scheduler
+module Explore = Smr_runtime.Explore
 module Lin = Smr_harness.Linearize
 open Test_support
 
@@ -65,6 +66,81 @@ let record_and_check (module D : Smr_ds.Ds_intf.CONC_SET) name =
       (Lin.Set_spec.check_history !history)
   done
 
+(* Histories recorded under the FUZZ scheduler: the adversarial random
+   walks and PCT schedules of {!Explore} produce far less fair
+   interleavings than the seeded uniform scheduler above. The
+   linearizability check runs as the explorer's post-condition, so every
+   walk's history is checked and a non-linearizable one surfaces as a
+   Violation with its replayable schedule. Timestamps come from a plain
+   tick counter: it advances on every invocation/response in schedule
+   order, which is exactly the real-time order the checker needs. *)
+let fuzz_record_and_check (module D : Smr_ds.Ds_intf.CONC_SET) name mode =
+  let program () =
+    let set = D.create ~buckets:16 (test_cfg ~threads:3) in
+    let clock = ref 0 in
+    let tick () =
+      incr clock;
+      !clock
+    in
+    let history = ref [] in
+    let body tid () =
+      let rng = Random.State.make [| 42; tid |] in
+      for _ = 1 to 4 do
+        let key = Random.State.int rng 3 in
+        let inv = tick () in
+        let op, result =
+          match Random.State.int rng 3 with
+          | 0 -> (Lin.Set_spec.Insert key, D.insert set key)
+          | 1 -> (Lin.Set_spec.Remove key, D.remove set key)
+          | _ -> (Lin.Set_spec.Contains key, D.contains set key)
+        in
+        let res = tick () in
+        history := { Lin.op; result; inv; res } :: !history
+      done
+    in
+    ( List.init 3 body,
+      fun () -> Lin.Set_spec.check_history !history )
+  in
+  match Explore.explore ~mode ~seed:9 program with
+  | Explore.Violation { message; schedule } ->
+      Alcotest.fail
+        (Printf.sprintf "%s: non-linearizable fuzz history [%s] (schedule [%s])"
+           name message
+           (String.concat ";" (List.map string_of_int schedule)))
+  | Explore.Exhausted _ | Explore.Limit_reached _ -> ()
+
+let fuzz_modes =
+  [
+    ("random", Explore.Random_walk { walks = 12 });
+    ("pct", Explore.Pct { walks = 12; change_points = 3 });
+  ]
+
+let fuzz_cases =
+  let case sname (module S : SMR) =
+    let module T = Smr_ds.Natarajan_mittal_tree.Make (S) in
+    let module K = Smr_ds.Skiplist.Make (S) in
+    List.concat_map
+      (fun (mname, mode) ->
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%s:skiplist-fuzz-%s" sname mname)
+            `Quick
+            (fun () ->
+              fuzz_record_and_check (module K)
+                (Printf.sprintf "skiplist/%s/%s" sname mname)
+                mode);
+          Alcotest.test_case
+            (Printf.sprintf "%s:nm-tree-fuzz-%s" sname mname)
+            `Quick
+            (fun () ->
+              fuzz_record_and_check (module T)
+                (Printf.sprintf "nm-tree/%s/%s" sname mname)
+                mode);
+        ])
+      fuzz_modes
+  in
+  case "hyaline" (module Hyaline) @ case "epoch" (module Ebr)
+
 (* Checker self-validation: any history produced by a sequential run is
    linearizable, both with sequential timestamps and with fully
    overlapping ones (which only weaken the real-time constraint). *)
@@ -124,3 +200,4 @@ let suite =
   @ for_scheme ("hyaline", (module Hyaline))
   @ for_scheme ("hyaline-s", (module Hyaline_s))
   @ for_scheme ("epoch", (module Ebr))
+  @ fuzz_cases

@@ -10,6 +10,7 @@ let () =
       ("edge", Test_edge.suite);
       ("native", Test_native.suite);
       ("explore", Test_explore.suite);
+      ("conformance", Test_conformance.suite);
       ("schemes-unit", Test_schemes_unit.suite);
       ("linearize", Test_linearize.suite);
       ("metrics", Test_metrics.suite);

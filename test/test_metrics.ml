@@ -157,7 +157,10 @@ let test_tracer_events () =
     | Sched.Ev_step { at; _ }
     | Sched.Ev_stall { at; _ }
     | Sched.Ev_unstall { at; _ }
-    | Sched.Ev_finish { at; _ } -> at
+    | Sched.Ev_finish { at; _ }
+    | Sched.Ev_suspend { at; _ }
+    | Sched.Ev_resume { at; _ }
+    | Sched.Ev_kill { at; _ } -> at
   in
   let rec monotone = function
     | a :: (b :: _ as rest) -> at a <= at b && monotone rest
@@ -225,6 +228,55 @@ let test_histogram () =
     "to_list/of_list round trip" (Histogram.to_list h) (Histogram.to_list h');
   Alcotest.(check int) "count restored" 9 (Histogram.count h')
 
+(* Edge cases: empty, single-sample, clamping, and the saturating
+   catch-all top bucket. *)
+let test_histogram_edges () =
+  (* Empty: no samples means every percentile (and the mean) is 0. *)
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "empty p%d" p)
+        0 (Histogram.percentile h p))
+    [ 0; 50; 99; 100 ];
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Histogram.mean h);
+  (* Single sample: every percentile reports that sample's bucket bound. *)
+  let h = Histogram.create () in
+  Histogram.add h 5;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "single-sample p%d" p)
+        8 (* 5 lives in bucket [4, 8) *)
+        (Histogram.percentile h p))
+    [ 1; 50; 100 ];
+  Alcotest.(check int) "single-sample count" 1 (Histogram.count h);
+  (* Negative samples clamp to zero (bucket 0, reported bound 1). *)
+  let h = Histogram.create () in
+  Histogram.add h (-3);
+  Alcotest.(check int) "negative clamps to bucket 0" 1
+    (Histogram.percentile h 100);
+  Alcotest.(check int) "negative does not move max" 0 h.Histogram.max;
+  (* The top bucket is a saturating catch-all: max_int lands there, the
+     percentile reports its (finite) bound, and the exact max survives
+     separately. *)
+  let h = Histogram.create () in
+  Histogram.add h max_int;
+  Histogram.add h max_int;
+  Alcotest.(check int) "top bucket count" 2 (Histogram.count h);
+  Alcotest.(check int) "top bucket percentile = last bound" (1 lsl 23)
+    (Histogram.percentile h 50);
+  Alcotest.(check int) "exact max preserved" max_int h.Histogram.max;
+  let buckets = Histogram.to_list h in
+  Alcotest.(check int) "both samples in the last bucket" 2
+    (List.nth buckets (List.length buckets - 1));
+  (* of_list restores counts even for the saturated shape. *)
+  let h' = Histogram.of_list buckets in
+  Alcotest.(check int) "of_list count" 2 (Histogram.count h');
+  Alcotest.(check int) "of_list percentile" (1 lsl 23)
+    (Histogram.percentile h' 100)
+
 let suite =
   [
     Alcotest.test_case "prefill guard" `Quick test_prefill_guard;
@@ -235,4 +287,5 @@ let suite =
     Alcotest.test_case "scheduler tracer" `Quick test_tracer_events;
     Alcotest.test_case "report json round trip" `Quick test_report_roundtrip;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
   ]

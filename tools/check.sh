@@ -30,4 +30,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 dune exec bin/figures.exe -- bench -n check -t 2 -o "$tmpdir"
 test -s "$tmpdir/BENCH_check.json"
 
+# Budgeted adversarial verification: the full scheme x structure matrix
+# under sleep-set DFS, random walks and PCT, plus the stall-injection
+# robustness probes — fixed seeds, smoke budgets (the whole sweep is a
+# fraction of a second; the one-minute CI budget has two orders of
+# magnitude of slack). Exits non-zero on any violation, which dumps a
+# replayable trace file into $tmpdir for inspection before cleanup.
+echo "==> verify smoke run"
+dune exec bin/figures.exe -- verify --smoke --seed 0 --trace-dir "$tmpdir"
+
 echo "==> all checks passed"

@@ -1,0 +1,53 @@
+module Explore = Smr_runtime.Explore
+module Cell = Smr_runtime.Sim_cell
+
+let probe ~mk ~faults ~sleep_sets =
+  let seen = Hashtbl.create 64 in
+  let program () =
+    let threads, final = mk () in
+    ( threads,
+      fun () ->
+        Hashtbl.replace seen (final ()) ();
+        true )
+  in
+  (match Explore.check ~sleep_sets ~limit:1_000_000 ~faults program with
+   | Explore.Exhausted _ | Explore.Limit_reached _ -> ()
+   | Explore.Violation { message; _ } -> Printf.printf "violation: %s\n" message);
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let () =
+  (* t0 and t1 touch disjoint warmup cells then a shared cell c; t2 reads c.
+     Kill/stall victims at various decision indices. *)
+  let mk () =
+    let a = Cell.make 0 and b = Cell.make 0 and c = Cell.make 0 in
+    let t0 () = Cell.set a 1; Cell.set c 10 in
+    let t1 () = Cell.set b 1; Cell.set c 20 in
+    let t2 () = ignore (Cell.get c) in
+    ( [ t0; t1; t2 ],
+      fun () -> (Cell.get a, Cell.get b, Cell.get c) )
+  in
+  let mismatch = ref 0 in
+  List.iter
+    (fun victim ->
+      for at = 1 to 12 do
+        List.iter
+          (fun action ->
+            let faults =
+              match action with
+              | `Kill -> [ Explore.kill_at ~victim ~at () ]
+              | `Stall -> [ Explore.stall_at ~victim ~at () ]
+              | `StallR -> [ Explore.stall_at ~victim ~at ~resume_at:(at + 3) () ]
+            in
+            let raw = probe ~mk ~faults ~sleep_sets:false in
+            let pruned = probe ~mk ~faults ~sleep_sets:true in
+            if raw <> pruned then begin
+              incr mismatch;
+              Printf.printf "MISMATCH victim=%d at=%d action=%s raw=%d states pruned=%d states\n"
+                victim at
+                (match action with `Kill -> "kill" | `Stall -> "stall" | `StallR -> "stall+resume")
+                (List.length raw) (List.length pruned)
+            end)
+          [ `Kill; `Stall; `StallR ]
+      done)
+    [ 0; 1; 2 ];
+  Printf.printf "done, %d mismatches\n" !mismatch

@@ -2,12 +2,20 @@
     paper's evaluation.
 
     - Bechamel micro-benchmarks (native runtime, wall-clock ns) for the
-      per-primitive costs behind Table 1;
+      per-primitive costs behind Table 1 — the scheme list is
+      {!Registry.Native.every_scheme}, so both LL/SC-headed variants are
+      measured alongside the dwCAS ones;
     - the simulated-figure drivers for Figs. 8–16 and Table 1;
     - ablations for the design choices DESIGN.md calls out (batch size,
       slot count, dwCAS vs LL/SC head).
 
-    Usage: [main.exe [section ...] [--full]] where section is one of
+    All simulated sections run through {!Plan} + {!Executor}, so results
+    are cached under [.sweep-cache/] by default: an interrupted run
+    resumes, a repeated run replays. [--no-cache] disables the cache,
+    [--cache-dir DIR] relocates it.
+
+    Usage: [main.exe [section ...] [--full] [--no-cache] [--cache-dir DIR]]
+    where section is one of
     [micro fig8 fig10a fig10b fig11 fig13 fig15 table1 ablation
     sensitivity breakdown metrics all]
     (default: all, quick scale). *)
@@ -15,34 +23,12 @@
 module Figures = Smr_harness.Figures
 module Workload = Smr_harness.Workload
 module Registry = Smr_harness.Registry
+module Plan = Smr_harness.Plan
+module Executor = Smr_harness.Executor
 
 (* ---- Bechamel micro-benchmarks over the native runtime ---------------- *)
 
 module Native = Smr_runtime.Native_runtime
-module N_leaky = Smr.Leaky.Make (Native)
-module N_ebr = Smr.Ebr.Make (Native)
-module N_hp = Smr.Hp.Make (Native)
-module N_he = Smr.He.Make (Native)
-module N_ibr = Smr.Ibr.Make (Native)
-module N_hyaline = Hyaline_core.Hyaline.Make (Native)
-module N_hyaline_llsc = Hyaline_core.Hyaline.Make_llsc (Native)
-module N_hyaline1 = Hyaline_core.Hyaline1.Make (Native)
-module N_hyaline_s = Hyaline_core.Hyaline_s.Make (Native)
-module N_hyaline1s = Hyaline_core.Hyaline1s.Make (Native)
-
-let native_schemes : (string * (module Smr.Smr_intf.SMR)) list =
-  [
-    ("Leaky", (module N_leaky));
-    ("Epoch", (module N_ebr));
-    ("HP", (module N_hp));
-    ("HE", (module N_he));
-    ("IBR", (module N_ibr));
-    ("Hyaline", (module N_hyaline));
-    ("Hyaline/llsc", (module N_hyaline_llsc));
-    ("Hyaline-1", (module N_hyaline1));
-    ("Hyaline-S", (module N_hyaline_s));
-    ("Hyaline-1S", (module N_hyaline1s));
-  ]
 
 let bench_cfg =
   {
@@ -81,7 +67,7 @@ let micro_tests () =
     in
     [ enter_leave; protect; retire ]
   in
-  List.concat_map tests_of native_schemes
+  List.concat_map tests_of Registry.Native.every_scheme
 
 let run_micro ppf =
   let open Bechamel in
@@ -112,49 +98,87 @@ let run_micro ppf =
     (micro_tests ());
   Fmt.pf ppf "@."
 
+(* ---- Plan helpers for the simulated sections --------------------------- *)
+
+(* Run a list of cells as one plan, aborting on any failed cell (these
+   sections print fixed-shape tables, a hole would misalign them). *)
+let exec ?cache name cells =
+  let summary = Executor.run ?cache { Plan.name; cells } in
+  List.map
+    (fun (r : Executor.row) ->
+      match r.Executor.outcome with
+      | Executor.Done res -> res
+      | Executor.Failed msg ->
+          failwith
+            (Printf.sprintf "%s: cell %s failed: %s" name
+               r.Executor.cell.Plan.label msg))
+    summary.Executor.rows
+
+let hashmap_cell ?cfg ?label ~scale scheme threads =
+  Plan.cell ?cfg ?label ~scale ~mix:Workload.write_heavy ~scheme
+    ~structure:Registry.Hashmap ~threads ()
+
 (* ---- Ablations --------------------------------------------------------- *)
 
-let ablation ppf ~scale =
+let ablation ?cache ppf ~scale =
   Fmt.pf ppf "# Ablations (hash map, write-heavy, 9 threads)@.@.";
   let threads = 9 in
-  let point ~cfg scheme =
-    Figures.run_point ~cfg ~ds:Registry.Hashmap ~scale
-      ~mix:Workload.write_heavy scheme threads
-  in
   (* Batch size sweep (§3.2: batch size plays the role of epoch frequency). *)
   Fmt.pf ppf "## Hyaline batch size (slots = 32)@.";
   Fmt.pf ppf "%-12s %14s %14s@." "batch" "throughput" "unreclaimed";
-  List.iter
-    (fun batch_size ->
-      let cfg =
-        { (Figures.base_cfg ~max_threads:1) with slots = 32; batch_size }
-      in
-      let r = point ~cfg (module Registry.Hyaline : Registry.SMR) in
+  let batches = [ 16; 64; 128; 256 ] in
+  let rs =
+    exec ?cache "ablation-batch"
+      (List.map
+         (fun batch_size ->
+           let cfg =
+             { (Plan.base_cfg ~max_threads:1) with slots = 32; batch_size }
+           in
+           hashmap_cell ~cfg ~label:(string_of_int batch_size) ~scale "Hyaline"
+             threads)
+         batches)
+  in
+  List.iter2
+    (fun batch_size (r : Workload.result) ->
       Fmt.pf ppf "%-12d %14.3f %14.1f@." (max batch_size 33) r.throughput
         r.avg_unreclaimed)
-    [ 16; 64; 128; 256 ];
+    batches rs;
   Fmt.pf ppf "@.";
   (* Slot count: k = 1 is the single-list §3.1 algorithm. *)
   Fmt.pf ppf "## Hyaline slot count (batch = max(32, k+1))@.";
   Fmt.pf ppf "%-12s %14s %14s@." "slots" "throughput" "unreclaimed";
-  List.iter
-    (fun slots ->
-      let cfg = { (Figures.base_cfg ~max_threads:1) with slots } in
-      let r = point ~cfg (module Registry.Hyaline : Registry.SMR) in
+  let slot_counts = [ 1; 8; 32; 128 ] in
+  let rs =
+    exec ?cache "ablation-slots"
+      (List.map
+         (fun slots ->
+           let cfg = { (Plan.base_cfg ~max_threads:1) with slots } in
+           hashmap_cell ~cfg ~label:(string_of_int slots) ~scale "Hyaline"
+             threads)
+         slot_counts)
+  in
+  List.iter2
+    (fun slots (r : Workload.result) ->
       Fmt.pf ppf "%-12d %14.3f %14.1f@." slots r.throughput r.avg_unreclaimed)
-    [ 1; 8; 32; 128 ];
+    slot_counts rs;
   Fmt.pf ppf "@.";
   (* Head implementation: dwCAS vs the Fig. 7 LL/SC model. *)
   Fmt.pf ppf "## Head implementation (slots = 32, batch = 33)@.";
   Fmt.pf ppf "%-12s %14s %14s@." "head" "throughput" "unreclaimed";
-  List.iter
-    (fun (name, scheme) ->
-      let r = point ~cfg:(Figures.base_cfg ~max_threads:1) scheme in
+  let heads = [ ("dwcas", "Hyaline"); ("llsc", "Hyaline/llsc") ] in
+  let rs =
+    exec ?cache "ablation-head"
+      (List.map
+         (fun (label, scheme) ->
+           hashmap_cell
+             ~cfg:(Plan.base_cfg ~max_threads:1)
+             ~label ~scale scheme threads)
+         heads)
+  in
+  List.iter2
+    (fun (name, _) (r : Workload.result) ->
       Fmt.pf ppf "%-12s %14.3f %14.1f@." name r.throughput r.avg_unreclaimed)
-    [
-      ("dwcas", (module Registry.Hyaline : Registry.SMR));
-      ("llsc", (module Registry.Hyaline_llsc));
-    ];
+    heads rs;
   Fmt.pf ppf "@."
 
 (* ---- Atomic-operation breakdown ----------------------------------------- *)
@@ -162,16 +186,17 @@ let ablation ppf ~scale =
 (* How many atomic operations of each kind one data-structure operation
    costs under each scheme — the microscopic story behind every throughput
    figure. *)
-let breakdown ppf ~scale =
+let breakdown ?cache ppf ~scale =
   Fmt.pf ppf "# Atomic ops per hash-map operation (write-heavy, 9 threads)@.@.";
   Fmt.pf ppf "%-12s %8s %8s %8s %8s %8s %8s %8s %9s@." "scheme" "reads"
     "writes" "plain-w" "cas-ok" "cas-fail" "faa" "swap" "cost/op";
-  List.iter
-    (fun (name, scheme) ->
-      let r =
-        Figures.run_point ~ds:Registry.Hashmap ~scale
-          ~mix:Workload.write_heavy scheme 9
-      in
+  let names = Registry.scheme_names Registry.X86 in
+  let rs =
+    exec ?cache "breakdown"
+      (List.map (fun name -> hashmap_cell ~scale name 9) names)
+  in
+  List.iter2
+    (fun name (r : Workload.result) ->
       (* [Workload.run] already scopes the per-class counters to the
          measured phase — no global reset needed, so concurrent callers
          and the prefill phase can no longer pollute the numbers. *)
@@ -181,7 +206,7 @@ let breakdown ppf ~scale =
         name (per c.reads) (per c.writes) (per c.plain_writes) (per c.cas_ok)
         (per c.cas_fail) (per c.faas) (per c.swaps)
         (per (Smr_runtime.Sim_cell.total_cost c)))
-    (Registry.all_schemes Registry.X86);
+    names rs;
   Fmt.pf ppf "@."
 
 (* ---- Scheme-internal metrics ------------------------------------------- *)
@@ -189,36 +214,30 @@ let breakdown ppf ~scale =
 (* The scheme-specific series from [Smr.Metrics]: why a scheme behaves the
    way it does — batches sealed and CAS retries for Hyaline, scan counts
    for the pointer/era schemes, epoch advances for EBR. *)
-let metrics_section ppf ~scale =
+let metrics_section ?cache ppf ~scale =
   Fmt.pf ppf "# Scheme metrics (hash map, write-heavy, 9 threads)@.@.";
+  let names = Registry.scheme_names Registry.X86 in
+  let rs =
+    exec ?cache "metrics"
+      (List.map (fun name -> hashmap_cell ~scale name 9) names)
+  in
   List.iter
-    (fun (_, scheme) ->
-      let r =
-        Figures.run_point ~ds:Registry.Hashmap ~scale
-          ~mix:Workload.write_heavy scheme 9
-      in
-      Fmt.pf ppf "%a@." Smr.Metrics.pp r.Workload.metrics)
-    (Registry.all_schemes Registry.X86);
+    (fun (r : Workload.result) -> Fmt.pf ppf "%a@." Smr.Metrics.pp r.metrics)
+    rs;
   Fmt.pf ppf "@."
 
 (* ---- Cost-model sensitivity -------------------------------------------- *)
 
 (* The figure shapes should not be an artefact of the exact atomic-op
    prices. Sweep the CAS/fenced-store price from optimistic to
-   pessimistic and show the scheme ordering on the hash map is stable. *)
-let sensitivity ppf ~scale =
+   pessimistic and show the scheme ordering on the hash map is stable.
+   The cost model is part of every cell's cache key, so the three models
+   cache independently. *)
+let sensitivity ?cache ppf ~scale =
   Fmt.pf ppf "# Cost-model sensitivity (hash map, write-heavy, 36 threads)@.";
   Fmt.pf ppf
     "Throughput ordering under different atomic-op price models.@.@.";
-  let schemes =
-    [
-      ("Leaky", (module Registry.Leaky : Registry.SMR));
-      ("Epoch", (module Registry.Ebr));
-      ("HP", (module Registry.Hp));
-      ("Hyaline", (module Registry.Hyaline));
-      ("Hyaline-1", (module Registry.Hyaline1));
-    ]
-  in
+  let schemes = [ "Leaky"; "Epoch"; "HP"; "Hyaline"; "Hyaline-1" ] in
   let models =
     [
       ("cheap-rmw (cas=2)", { Smr_runtime.Sim_cell.read = 1; write = 2; cas = 2; faa = 2; swap = 2 });
@@ -227,48 +246,55 @@ let sensitivity ppf ~scale =
     ]
   in
   Fmt.pf ppf "%-20s" "model";
-  List.iter (fun (n, _) -> Fmt.pf ppf " %12s" n) schemes;
+  List.iter (fun n -> Fmt.pf ppf " %12s" n) schemes;
   Fmt.pf ppf "@.";
   let saved = !Smr_runtime.Sim_cell.costs in
-  List.iter
-    (fun (mname, model) ->
-      Smr_runtime.Sim_cell.costs := model;
-      Fmt.pf ppf "%-20s" mname;
+  Fun.protect
+    ~finally:(fun () -> Smr_runtime.Sim_cell.costs := saved)
+    (fun () ->
       List.iter
-        (fun (_, scheme) ->
-          let r =
-            Figures.run_point ~ds:Registry.Hashmap ~scale
-              ~mix:Workload.write_heavy scheme 36
+        (fun (mname, model) ->
+          Smr_runtime.Sim_cell.costs := model;
+          let rs =
+            exec ?cache "sensitivity"
+              (List.map (fun name -> hashmap_cell ~scale name 36) schemes)
           in
-          Fmt.pf ppf " %12.3f" r.throughput)
-        schemes;
-      Fmt.pf ppf "@.")
-    models;
-  Smr_runtime.Sim_cell.costs := saved;
+          Fmt.pf ppf "%-20s" mname;
+          List.iter
+            (fun (r : Workload.result) -> Fmt.pf ppf " %12.3f" r.throughput)
+            rs;
+          Fmt.pf ppf "@.")
+        models);
   Fmt.pf ppf "@."
 
 (* ---- Driver ------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let scale = if full then Figures.Full else Figures.Quick in
-  let sections =
-    match List.filter (fun a -> a <> "--full") args with
-    | [] -> [ "all" ]
-    | s -> s
+  let rec parse (sections, full, cache) = function
+    | [] -> (List.rev sections, full, cache)
+    | "--full" :: rest -> parse (sections, true, cache) rest
+    | "--no-cache" :: rest -> parse (sections, full, None) rest
+    | "--cache-dir" :: dir :: rest -> parse (sections, full, Some dir) rest
+    | "--cache-dir" :: [] -> invalid_arg "--cache-dir needs an argument"
+    | s :: rest -> parse (s :: sections, full, cache) rest
   in
+  let sections, full, cache =
+    parse ([], false, Some ".sweep-cache") args
+  in
+  let scale = if full then Figures.Full else Figures.Quick in
+  let sections = if sections = [] then [ "all" ] else sections in
   let want s = List.mem "all" sections || List.mem s sections in
   let ppf = Fmt.stdout in
   if want "micro" then run_micro ppf;
   if want "table1" then Figures.table1 ppf;
-  if want "fig8" then Figures.fig8_9 ppf ~scale;
-  if want "fig10a" then Figures.fig10a ppf ~scale;
-  if want "fig10b" then Figures.fig10b ppf ~scale;
-  if want "fig11" then Figures.fig11_12 ppf ~scale;
-  if want "fig13" then Figures.fig13_14 ppf ~scale;
-  if want "fig15" then Figures.fig15_16 ppf ~scale;
-  if want "ablation" then ablation ppf ~scale;
-  if want "sensitivity" then sensitivity ppf ~scale;
-  if want "breakdown" then breakdown ppf ~scale;
-  if want "metrics" then metrics_section ppf ~scale
+  if want "fig8" then Figures.fig8_9 ?cache ppf ~scale;
+  if want "fig10a" then Figures.fig10a ?cache ppf ~scale;
+  if want "fig10b" then Figures.fig10b ?cache ppf ~scale;
+  if want "fig11" then Figures.fig11_12 ?cache ppf ~scale;
+  if want "fig13" then Figures.fig13_14 ?cache ppf ~scale;
+  if want "fig15" then Figures.fig15_16 ?cache ppf ~scale;
+  if want "ablation" then ablation ?cache ppf ~scale;
+  if want "sensitivity" then sensitivity ?cache ppf ~scale;
+  if want "breakdown" then breakdown ?cache ppf ~scale;
+  if want "metrics" then metrics_section ?cache ppf ~scale

@@ -1,48 +1,77 @@
 (** CLI for regenerating individual figures, or single workload points with
-    custom parameters — the knob-twiddling companion to [bench/main.exe]. *)
+    custom parameters — the knob-twiddling companion to [bench/main.exe].
+
+    Every sweep command runs through the plan executor, so results are
+    cached under [.sweep-cache/] by default ([--no-cache] disables,
+    [--cache-dir] relocates) and [--progress] streams per-cell progress
+    with an ETA to stderr. *)
 
 open Cmdliner
+module Registry = Smr_harness.Registry
+module Plan = Smr_harness.Plan
+module Executor = Smr_harness.Executor
 
 let scale_term =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run at full (paper) scale.")
   in
+  Term.(const (fun f -> if f then Plan.Full else Plan.Quick) $ full)
+
+let cache_term =
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the on-disk result cache (recompute every cell).")
+  in
+  let dir =
+    Arg.(
+      value & opt string ".sweep-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Result cache directory (created if missing).")
+  in
+  Term.(const (fun no dir -> if no then None else Some dir) $ no_cache $ dir)
+
+let progress_term =
+  let p =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print one progress line per cell (with ETA) to stderr.")
+  in
   Term.(
-    const (fun f -> if f then Smr_harness.Figures.Full else Smr_harness.Figures.Quick)
-    $ full)
+    const (fun p ->
+        if p then Some (Executor.print_progress Fmt.stderr) else None)
+    $ p)
 
 let fig_cmd name doc driver =
-  let run scale = driver Fmt.stdout ~scale in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+  let run cache on_progress scale =
+    driver ?cache ?on_progress Fmt.stdout ~scale
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ cache_term $ progress_term $ scale_term)
+
+let ds_conv =
+  Arg.enum
+    (List.map (fun s -> (Registry.structure_name s, s)) Registry.structures)
 
 let point_cmd =
   let doc = "Run one workload point with explicit parameters." in
-  let ds_conv =
-    Arg.enum
-      [
-        ("list", Smr_harness.Registry.Hm_list);
-        ("hashmap", Smr_harness.Registry.Hashmap);
-        ("nm-tree", Smr_harness.Registry.Nm_tree);
-        ("bonsai", Smr_harness.Registry.Bonsai);
-      ]
-  in
   let scheme_conv =
     Arg.enum
       (List.map
-         (fun (n, m) -> (String.lowercase_ascii n, m))
-         (Smr_harness.Registry.all_schemes Smr_harness.Registry.X86))
+         (fun n -> (String.lowercase_ascii n, n))
+         Registry.every_scheme_name)
   in
   let ds =
     Arg.(
       value
-      & opt ds_conv Smr_harness.Registry.Hashmap
+      & opt ds_conv Registry.Hashmap
       & info [ "d"; "ds" ] ~doc:"Data structure.")
   in
   let scheme =
     Arg.(
-      value
-      & opt scheme_conv (module Smr_harness.Registry.Hyaline : Smr_harness.Registry.SMR)
-      & info [ "s"; "scheme" ] ~doc:"SMR scheme.")
+      value & opt scheme_conv "Hyaline" & info [ "s"; "scheme" ] ~doc:"SMR scheme.")
   in
   let threads =
     Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Active threads.")
@@ -87,15 +116,6 @@ let bench_cmd =
     "Sweep schemes x structures x thread counts and write BENCH_<name>.json \
      — the repo's canonical machine-readable perf artifact."
   in
-  let ds_conv =
-    Arg.enum
-      [
-        ("list", Smr_harness.Registry.Hm_list);
-        ("hashmap", Smr_harness.Registry.Hashmap);
-        ("nm-tree", Smr_harness.Registry.Nm_tree);
-        ("bonsai", Smr_harness.Registry.Bonsai);
-      ]
-  in
   let name_t =
     Arg.(
       value & opt string "quick"
@@ -104,7 +124,7 @@ let bench_cmd =
   let structures =
     Arg.(
       value
-      & opt_all ds_conv [ Smr_harness.Registry.Hashmap ]
+      & opt_all ds_conv [ Registry.Hashmap ]
       & info [ "d"; "ds" ] ~doc:"Structures to sweep (repeatable).")
   in
   let thread_counts =
@@ -117,12 +137,13 @@ let bench_cmd =
       value & opt (some string) None
       & info [ "o"; "output-dir" ] ~doc:"Directory for the report file.")
   in
-  let run name structures thread_counts dir scale =
-    let report =
-      Smr_harness.Report.collect ~name ~arch:Smr_harness.Registry.X86 ~scale
-        ~structures ~thread_counts
+  let run name structures thread_counts dir cache on_progress scale =
+    let report, stats =
+      Smr_harness.Report.collect ?cache ?on_progress ~name
+        ~arch:Registry.X86 ~scale ~structures ~thread_counts ()
     in
     let path = Smr_harness.Report.write ?dir report in
+    Fmt.pr "%a@." Executor.pp_stats stats;
     (* Self-check: re-read the artifact, parse it against the schema, and
        assert it covers the full registry — CI keys off this. *)
     let ic = open_in path in
@@ -139,7 +160,9 @@ let bench_cmd =
         exit 1
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ name_t $ structures $ thread_counts $ dir $ scale_term)
+    Term.(
+      const run $ name_t $ structures $ thread_counts $ dir $ cache_term
+      $ progress_term $ scale_term)
 
 let verify_cmd =
   let doc =
@@ -223,6 +246,9 @@ let verify_cmd =
           tr.T.message;
         exit 1)
   in
+  (* Scheme names may contain '/' (Hyaline/llsc) — flatten for filenames
+     only; the trace meta keeps the canonical name for replay lookup. *)
+  let file_safe = String.map (fun c -> if c = '/' then '-' else c) in
   let run mode seed trace_dir smoke replay scale =
     ignore smoke;
     match replay with
@@ -230,8 +256,8 @@ let verify_cmd =
     | None ->
         let budgets =
           match scale with
-          | Smr_harness.Figures.Quick -> V.smoke_budgets
-          | Smr_harness.Figures.Full ->
+          | Plan.Quick -> V.smoke_budgets
+          | Plan.Full ->
               { V.dfs_limit = 2_000; walks = 100; change_points = 3 }
         in
         let modes =
@@ -250,51 +276,53 @@ let verify_cmd =
         let cells = ref 0 in
         let skipped = ref 0 in
         List.iter
-          (fun ((sname, _) as scheme) ->
+          (fun (sname, structure) ->
+            let scheme =
+              match V.scheme_of_name sname with
+              | Some s -> (sname, s)
+              | None -> Fmt.failwith "unknown scheme %s" sname
+            in
             List.iter
-              (fun structure ->
-                List.iter
-                  (fun m ->
-                    let cell = V.run_cell ~seed ~budgets ~shape scheme structure m in
-                    incr cells;
-                    match cell.V.c_verdict with
-                    | V.Pass _ -> ()
-                    | V.Skipped _ -> incr skipped
-                    | V.Fail { schedule; shrunk; message } ->
-                        incr failed;
-                        let file =
-                          Printf.sprintf "%s/TRACE_%s_%s_%s.txt" trace_dir
-                            sname
-                            (V.structure_name structure)
-                            (V.mode_name m)
-                        in
-                        T.save ~path:file
-                          {
-                            T.meta =
-                              [
-                                ("scheme", sname);
-                                ("structure", V.structure_name structure);
-                                ("mode", V.mode_name m);
-                                ("seed", string_of_int seed);
-                                ("threads", string_of_int shape.V.threads);
-                                ("ops", string_of_int shape.V.ops);
-                                ("keys", string_of_int shape.V.keys);
-                                ("prog_seed", string_of_int shape.V.prog_seed);
-                              ];
-                            faults = [];
-                            schedule = shrunk;
-                            message;
-                          };
-                        Fmt.pr
-                          "FAIL %-12s %-8s %-6s: %s (schedule %d decisions, \
-                           shrunk to %d) -> %s@."
-                          sname
-                          (V.structure_name structure)
-                          (V.mode_name m) message (List.length schedule)
-                          (List.length shrunk) file)
-                  modes)
-              V.structures)
-          V.schemes;
+              (fun m ->
+                let cell = V.run_cell ~seed ~budgets ~shape scheme structure m in
+                incr cells;
+                match cell.V.c_verdict with
+                | V.Pass _ -> ()
+                | V.Skipped _ -> incr skipped
+                | V.Fail { schedule; shrunk; message } ->
+                    incr failed;
+                    let file =
+                      Printf.sprintf "%s/TRACE_%s_%s_%s.txt" trace_dir
+                        (file_safe sname)
+                        (V.structure_name structure)
+                        (V.mode_name m)
+                    in
+                    T.save ~path:file
+                      {
+                        T.meta =
+                          [
+                            ("scheme", sname);
+                            ("structure", V.structure_name structure);
+                            ("mode", V.mode_name m);
+                            ("seed", string_of_int seed);
+                            ("threads", string_of_int shape.V.threads);
+                            ("ops", string_of_int shape.V.ops);
+                            ("keys", string_of_int shape.V.keys);
+                            ("prog_seed", string_of_int shape.V.prog_seed);
+                          ];
+                        faults = [];
+                        schedule = shrunk;
+                        message;
+                      };
+                    Fmt.pr
+                      "FAIL %-12s %-8s %-6s: %s (schedule %d decisions, \
+                       shrunk to %d) -> %s@."
+                      sname
+                      (V.structure_name structure)
+                      (V.mode_name m) message (List.length schedule)
+                      (List.length shrunk) file)
+              modes)
+          (Plan.pairs (Plan.conformance ()));
         Fmt.pr "conformance: %d cells (%d skipped), %d violation(s)@." !cells
           !skipped !failed;
         (* Robustness probes: each scheme's peak unreclaimed under a

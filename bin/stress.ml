@@ -9,7 +9,7 @@ open Cmdliner
 let run ds scheme threads ops rounds quiescent =
   let module Sched = Smr_runtime.Scheduler in
   let (module D : Smr_harness.Registry.CONC_SET) =
-    Smr_harness.Registry.make_set ds scheme
+    Smr_harness.Registry.Sim.make_set ds scheme
   in
   let cfg =
     {
@@ -72,12 +72,9 @@ let () =
       value
       & opt
           (enum
-             [
-               ("list", Smr_harness.Registry.Hm_list);
-               ("hashmap", Smr_harness.Registry.Hashmap);
-               ("nm-tree", Smr_harness.Registry.Nm_tree);
-               ("bonsai", Smr_harness.Registry.Bonsai);
-             ])
+             (List.map
+                (fun s -> (Smr_harness.Registry.structure_name s, s))
+                Smr_harness.Registry.structures))
           Smr_harness.Registry.Hashmap
       & info [ "d"; "ds" ] ~doc:"Data structure.")
   in
@@ -88,8 +85,8 @@ let () =
           (enum
              (List.map
                 (fun (n, m) -> (String.lowercase_ascii n, m))
-                (Smr_harness.Registry.all_schemes Smr_harness.Registry.X86)))
-          (module Smr_harness.Registry.Hyaline : Smr_harness.Registry.SMR)
+                Smr_harness.Registry.Sim.every_scheme))
+          (List.assoc "Hyaline" Smr_harness.Registry.Sim.every_scheme)
       & info [ "s"; "scheme" ] ~doc:"SMR scheme.")
   in
   let threads =

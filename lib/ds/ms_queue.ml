@@ -19,6 +19,7 @@ module Make (S : Smr.Smr_intf.SMR) = struct
 
   let enter t = S.enter t.smr
   let leave t g = S.leave t.smr g
+  let refresh t g = S.refresh t.smr g
 
   let enqueue_with t g value =
     let node = S.alloc t.smr { value = Some value; next = A.make None } in
@@ -67,6 +68,22 @@ module Make (S : Smr.Smr_intf.SMR) = struct
           else attempt ()
     in
     attempt ()
+
+  (* Protected read of the front value (the dummy's successor) without
+     dequeuing; [None] on an empty queue. *)
+  let peek_with t g =
+    let head =
+      S.protect t.smr g ~idx:0
+        ~read:(fun () -> A.get t.head)
+        ~target:(fun n -> Some n)
+    in
+    let hpl = S.data head in
+    let next =
+      S.protect t.smr g ~idx:1
+        ~read:(fun () -> A.get hpl.next)
+        ~target:(fun o -> o)
+    in
+    match next with None -> None | Some n -> (S.data n).value
 
   let enqueue t v =
     let g = enter t in

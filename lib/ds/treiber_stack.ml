@@ -17,6 +17,7 @@ module Make (S : Smr.Smr_intf.SMR) = struct
   let create cfg = { smr = S.create cfg; top = A.make None }
   let enter t = S.enter t.smr
   let leave t g = S.leave t.smr g
+  let refresh t g = S.refresh t.smr g
 
   let push_with t g value =
     let rec attempt () =
@@ -48,6 +49,17 @@ module Make (S : Smr.Smr_intf.SMR) = struct
           else attempt ()
     in
     attempt ()
+
+  (* Protected read of the current top's value; [None] on an empty stack.
+     The protect re-validates the pointer, so the dereference is safe even
+     if a concurrent pop retires the node right after. *)
+  let top_with t g =
+    let top =
+      S.protect t.smr g ~idx:0
+        ~read:(fun () -> A.get t.top)
+        ~target:(fun o -> o)
+    in
+    match top with None -> None | Some n -> Some (S.data n).value
 
   let push t value =
     let g = enter t in

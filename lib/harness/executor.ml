@@ -1,0 +1,294 @@
+(** See executor.mli — cached, fault-tolerant execution of experiment
+    plans. *)
+
+type outcome = Done of Workload.result | Failed of string
+
+type row = {
+  cell : Plan.cell;
+  hash : string;
+  outcome : outcome;
+  from_cache : bool;
+}
+
+type stats = { total : int; executed : int; cache_hits : int; failed : int }
+type summary = { plan_name : string; rows : row list; stats : stats }
+
+type progress = {
+  pr_index : int;
+  pr_total : int;
+  pr_cell : Plan.cell;
+  pr_cached : bool;
+  pr_ok : bool;
+  pr_elapsed : float;
+  pr_eta : float;
+}
+
+(* -- result serialization ------------------------------------------------- *)
+
+let op_counts_to_json (c : Smr_runtime.Sim_cell.op_counts) =
+  Json.Obj
+    [
+      ("reads", Json.Int c.reads);
+      ("writes", Json.Int c.writes);
+      ("plain_writes", Json.Int c.plain_writes);
+      ("cas_ok", Json.Int c.cas_ok);
+      ("cas_fail", Json.Int c.cas_fail);
+      ("faas", Json.Int c.faas);
+      ("swaps", Json.Int c.swaps);
+      ("read_cost", Json.Int c.read_cost);
+      ("write_cost", Json.Int c.write_cost);
+      ("plain_write_cost", Json.Int c.plain_write_cost);
+      ("cas_cost", Json.Int c.cas_cost);
+      ("faa_cost", Json.Int c.faa_cost);
+      ("swap_cost", Json.Int c.swap_cost);
+    ]
+
+let op_counts_of_json j : Smr_runtime.Sim_cell.op_counts =
+  let i k = Json.to_int (Json.member_exn k j) in
+  {
+    reads = i "reads";
+    writes = i "writes";
+    plain_writes = i "plain_writes";
+    cas_ok = i "cas_ok";
+    cas_fail = i "cas_fail";
+    faas = i "faas";
+    swaps = i "swaps";
+    read_cost = i "read_cost";
+    write_cost = i "write_cost";
+    plain_write_cost = i "plain_write_cost";
+    cas_cost = i "cas_cost";
+    faa_cost = i "faa_cost";
+    swap_cost = i "swap_cost";
+  }
+
+let result_to_json (r : Workload.result) : Json.t =
+  let m = r.Workload.metrics in
+  Json.Obj
+    [
+      ("ops", Json.Int r.Workload.ops);
+      ("steps", Json.Int r.Workload.steps);
+      ("throughput", Json.Float r.Workload.throughput);
+      ("avg_unreclaimed", Json.Float r.Workload.avg_unreclaimed);
+      ("peak_unreclaimed", Json.Int r.Workload.peak_unreclaimed);
+      ( "final",
+        Json.Obj
+          [
+            ("allocated", Json.Int r.Workload.final.Smr.Metrics.allocated);
+            ("retired", Json.Int r.Workload.final.Smr.Metrics.retired);
+            ("freed", Json.Int r.Workload.final.Smr.Metrics.freed);
+          ] );
+      ( "metrics",
+        Json.Obj
+          [
+            ("scheme", Json.String m.Smr.Metrics.scheme);
+            ("allocated", Json.Int m.Smr.Metrics.allocated);
+            ("retired", Json.Int m.Smr.Metrics.retired);
+            ("freed", Json.Int m.Smr.Metrics.freed);
+            ("peak_unreclaimed", Json.Int m.Smr.Metrics.peak_unreclaimed);
+            ( "series",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series)
+            );
+          ] );
+      ( "latency",
+        Json.Obj
+          [
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun n -> Json.Int n)
+                   (Histogram.to_list r.Workload.latency)) );
+            ("sum", Json.Int (Histogram.sum r.Workload.latency));
+            ("max", Json.Int r.Workload.latency.Histogram.max);
+          ] );
+      ("op_costs", op_counts_to_json r.Workload.op_costs);
+    ]
+
+let result_of_json j : Workload.result =
+  let open Json in
+  let i k v = to_int (member_exn k v) in
+  let final = member_exn "final" j in
+  let metrics = member_exn "metrics" j in
+  let latency = member_exn "latency" j in
+  {
+    Workload.ops = i "ops" j;
+    steps = i "steps" j;
+    throughput = to_float (member_exn "throughput" j);
+    avg_unreclaimed = to_float (member_exn "avg_unreclaimed" j);
+    peak_unreclaimed = i "peak_unreclaimed" j;
+    final =
+      {
+        Smr.Metrics.allocated = i "allocated" final;
+        retired = i "retired" final;
+        freed = i "freed" final;
+      };
+    metrics =
+      {
+        Smr.Metrics.scheme = to_str (member_exn "scheme" metrics);
+        allocated = i "allocated" metrics;
+        retired = i "retired" metrics;
+        freed = i "freed" metrics;
+        peak_unreclaimed = i "peak_unreclaimed" metrics;
+        series =
+          List.map
+            (fun (k, v) -> (k, to_int v))
+            (to_obj (member_exn "series" metrics));
+      };
+    latency =
+      Histogram.of_parts
+        ~buckets:(List.map to_int (to_list (member_exn "buckets" latency)))
+        ~sum:(i "sum" latency) ~max:(i "max" latency);
+    op_costs = op_counts_of_json (member_exn "op_costs" j);
+  }
+
+(* -- the cache ------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* Tolerate a concurrent creator. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let cache_path dir hash = Filename.concat dir (hash ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  (* Write-then-rename: an interrupted sweep never leaves a truncated
+     cache entry behind, only a stale .tmp that is overwritten next time. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text);
+  Sys.rename tmp path
+
+let cache_lookup ~dir cell hash =
+  let path = cache_path dir hash in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let j = Json.of_string (read_file path) in
+      let key = Json.to_str (Json.member_exn "key" j) in
+      (* The stored key must match exactly: catches both MD5 collisions
+         and entries written by an incompatible key schema. *)
+      if String.equal key (Plan.cell_key cell) then
+        Some (result_of_json (Json.member_exn "result" j))
+      else None
+    with _ -> None
+
+let cache_store ~dir cell hash result =
+  let j =
+    Json.Obj
+      [
+        ("key", Json.String (Plan.cell_key cell));
+        ("result", result_to_json result);
+      ]
+  in
+  write_file (cache_path dir hash) (Json.to_string j)
+
+(* -- execution ------------------------------------------------------------ *)
+
+let run_cell (c : Plan.cell) : outcome =
+  match Registry.Sim.scheme_of_name ~arch:c.Plan.arch c.Plan.scheme with
+  | None -> Failed (Printf.sprintf "unknown scheme %S" c.Plan.scheme)
+  | Some scheme -> (
+      let set = Registry.Sim.make_set c.Plan.structure scheme in
+      match Workload.run set (Plan.spec_of_cell c) with
+      | r -> Done r
+      | exception e -> Failed (Printexc.to_string e))
+
+let run_cell_exn c =
+  match run_cell c with
+  | Done r -> r
+  | Failed msg ->
+      failwith
+        (Printf.sprintf "Executor: cell %s/%s failed: %s" c.Plan.scheme
+           (Registry.structure_name c.Plan.structure)
+           msg)
+
+let run ?cache ?on_progress (plan : Plan.t) : summary =
+  Option.iter mkdir_p cache;
+  let total = List.length plan.Plan.cells in
+  let started = Sys.time () in
+  let executed = ref 0 and cache_hits = ref 0 and failed = ref 0 in
+  let rows =
+    List.mapi
+      (fun idx cell ->
+        let hash = Plan.cell_hash cell in
+        let cached =
+          match cache with
+          | Some dir -> cache_lookup ~dir cell hash
+          | None -> None
+        in
+        let outcome, from_cache =
+          match cached with
+          | Some r ->
+              incr cache_hits;
+              (Done r, true)
+          | None -> (
+              incr executed;
+              match run_cell cell with
+              | Done r as ok ->
+                  Option.iter (fun dir -> cache_store ~dir cell hash r) cache;
+                  (ok, false)
+              | Failed _ as bad ->
+                  incr failed;
+                  (bad, false))
+        in
+        (match on_progress with
+        | None -> ()
+        | Some f ->
+            let finished = idx + 1 in
+            let elapsed = Sys.time () -. started in
+            let eta =
+              if finished = 0 then 0.0
+              else elapsed /. float_of_int finished
+                   *. float_of_int (total - finished)
+            in
+            f
+              {
+                pr_index = finished;
+                pr_total = total;
+                pr_cell = cell;
+                pr_cached = from_cache;
+                pr_ok = (match outcome with Done _ -> true | Failed _ -> false);
+                pr_elapsed = elapsed;
+                pr_eta = eta;
+              });
+        { cell; hash; outcome; from_cache })
+      plan.Plan.cells
+  in
+  {
+    plan_name = plan.Plan.name;
+    rows;
+    stats =
+      {
+        total;
+        executed = !executed;
+        cache_hits = !cache_hits;
+        failed = !failed;
+      };
+  }
+
+(* -- reporting ------------------------------------------------------------ *)
+
+let print_progress ppf (p : progress) =
+  Fmt.pf ppf "[%4d/%-4d] %-16s %-8s t=%-3d %s%s eta %4.1fs@." p.pr_index
+    p.pr_total p.pr_cell.Plan.label
+    (Registry.structure_name p.pr_cell.Plan.structure)
+    p.pr_cell.Plan.threads
+    (if p.pr_cached then "cached " else "ran    ")
+    (if p.pr_ok then "" else "FAILED ")
+    p.pr_eta
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "sweep: total=%d executed=%d cache_hits=%d failed=%d%s" s.total
+    s.executed s.cache_hits s.failed
+    (if s.total > 0 && s.cache_hits = s.total then " (100% cached)" else "")

@@ -2,119 +2,95 @@
     evaluation (§6 + Appendix A). Each driver prints the same rows/series
     the paper plots; EXPERIMENTS.md records how the shapes compare.
 
-    Workload sizes are scaled ≈1/25 from the paper's 50,000-element /
-    100,000-key configuration so a full sweep runs in seconds on one core;
-    the scaling is uniform across schemes, so relative shape is preserved.
-    [Full] scale quadruples budgets and doubles sizes. *)
+    Since the plan/executor refactor, a driver is three declarative steps:
+    build a {!Plan.t} (scheme names × structure × ladder, straight from
+    the {!Registry}), hand it to {!Executor.run} (which caches results and
+    records failures instead of aborting), and print the surviving rows.
+    Workload sizing lives in {!Plan.preset}. *)
 
-type scale = Quick | Full
+type scale = Plan.scale = Quick | Full
 
 let ( // ) a b = float_of_int a /. float_of_int b
 
-(* Per-structure workload presets
-   (prefill, key range, budget, buckets, op body cost). The op body charges
-   the per-operation work the cell model does not see (hashing, key
-   comparisons, allocator) — uniform across schemes; the list needs none,
-   its traversal cost is fully explicit. *)
-let preset scale ds =
-  let q (prefill, key_range, budget, buckets, op_body) =
-    match scale with
-    | Quick -> (prefill, key_range, budget, buckets, op_body)
-    | Full -> (prefill * 2, key_range * 2, budget * 4, buckets, op_body)
-  in
-  match ds with
-  | Registry.Hm_list -> q (200, 400, 200_000, 0, 0)
-  | Registry.Hashmap -> q (2_000, 4_000, 100_000, 4096, 25)
-  | Registry.Nm_tree -> q (2_000, 4_000, 120_000, 0, 15)
-  | Registry.Bonsai -> q (512, 1_024, 120_000, 0, 10)
-
-let x86_grid = function
-  | Quick -> [ 1; 4; 9; 18; 36; 72; 108; 144 ]
-  | Full -> [ 1; 4; 9; 18; 27; 36; 54; 72; 90; 108; 126; 144 ]
-
-let ppc_grid = function
-  | Quick -> [ 1; 4; 8; 16; 32; 64; 96; 128 ]
-  | Full -> [ 1; 4; 8; 16; 24; 32; 48; 64; 96; 128 ]
-
-let base_cfg ~max_threads =
-  {
-    Smr.Smr_intf.default_config with
-    max_threads;
-    slots = 32;
-    batch_size = 32;
-    era_freq = 64;
-    ack_threshold = 256;
-  }
+(* Re-exported so existing callers keep one import point. *)
+let base_cfg = Plan.base_cfg
+let x86_grid = Plan.x86_grid
+let ppc_grid = Plan.ppc_grid
 
 type series = { scheme : string; points : (int * Workload.result) list }
-type grid_run = { title : string; series : series list }
+type grid_run = { title : string; grid : int list; series : series list }
 
-let run_point ?(stalled = 0) ?(use_trim = false) ?cfg ?budget ?prefill ~ds
-    ~scale ~mix (module S : Registry.SMR) threads =
-  let preset_prefill, key_range, preset_budget, buckets, op_body =
-    preset scale ds
-  in
-  (* The paper runs fixed wall-clock time, so total operations grow with
-     the thread count; scale the simulated budget likewise — it also keeps
-     every thread past SMR warm-up (several filled batches / scan periods)
-     at every grid point. *)
-  let budget =
-    match budget with
-    | Some b -> b
-    | None -> preset_budget * max 1 (threads / 4)
-  in
-  let prefill = Option.value prefill ~default:preset_prefill in
-  let cfg =
-    match cfg with
-    | Some c -> { c with Smr.Smr_intf.max_threads = threads + stalled + 1 }
-    | None -> base_cfg ~max_threads:(threads + stalled + 1)
-  in
-  let spec =
-    {
-      Workload.threads;
-      stalled;
-      key_range;
-      prefill;
-      mix;
-      budget;
-      seed = 42 + threads;
-      cfg;
-      use_trim;
-      buckets = (if buckets = 0 then 1024 else buckets);
-      op_body;
-    }
-  in
-  Workload.run (Registry.make_set ds (module S)) spec
+(* -- running -------------------------------------------------------------- *)
 
-let run_grid ~title ~ds ~mix ~arch ~scale ~grid =
-  let series =
-    List.map
-      (fun (name, scheme) ->
-        {
-          scheme = name;
-          points =
-            List.map
-              (fun threads ->
-                (threads, run_point ~ds ~scale ~mix scheme threads))
-              grid;
-        })
-      (Registry.schemes_for ds arch)
+let run_point ?stalled ?use_trim ?cfg ?budget ?prefill ?arch ~ds ~scale ~mix
+    scheme threads =
+  Executor.run_cell_exn
+    (Plan.cell ?stalled ?use_trim ?cfg ?budget ?prefill ?arch ~scale ~mix
+       ~scheme ~structure:ds ~threads ())
+
+(* Execute a plan, surface failures on stderr (the sweep itself already
+   survived them), and regroup the surviving rows into per-label series
+   keyed by [x] (thread count for most figures, stalled count for 10a). *)
+let exec ?cache ?on_progress ~x (plan : Plan.t) : series list =
+  let summary = Executor.run ?cache ?on_progress plan in
+  List.iter
+    (fun (r : Executor.row) ->
+      match r.Executor.outcome with
+      | Executor.Done _ -> ()
+      | Executor.Failed msg ->
+          Fmt.epr "%s: cell %s/%s failed: %s@." plan.Plan.name
+            r.Executor.cell.Plan.label
+            (Registry.structure_name r.Executor.cell.Plan.structure)
+            msg)
+    summary.Executor.rows;
+  let labels =
+    List.fold_left
+      (fun acc (r : Executor.row) ->
+        let l = r.Executor.cell.Plan.label in
+        if List.mem l acc then acc else acc @ [ l ])
+      [] summary.Executor.rows
   in
-  { title; series }
+  List.map
+    (fun label ->
+      {
+        scheme = label;
+        points =
+          List.filter_map
+            (fun (r : Executor.row) ->
+              if String.equal r.Executor.cell.Plan.label label then
+                match r.Executor.outcome with
+                | Executor.Done res -> Some (x r.Executor.cell, res)
+                | Executor.Failed _ -> None
+              else None)
+            summary.Executor.rows;
+      })
+    labels
+
+let run_grid ?cache ?on_progress ~title ~ds ~mix ~arch ~scale ~grid () =
+  let plan =
+    Plan.grid ~name:title ~arch ~scale ~mix ~structures:[ ds ] ~threads:grid ()
+  in
+  {
+    title;
+    grid;
+    series = exec ?cache ?on_progress ~x:(fun c -> c.Plan.threads) plan;
+  }
 
 (* -- table printing ------------------------------------------------------- *)
 
-let print_table ppf { title; series } ~ylabel ~value =
+let print_table ppf { title; grid; series } ~ylabel ~value =
   Fmt.pf ppf "## %s — %s@." title ylabel;
-  let grid = List.map fst (List.hd series).points in
   Fmt.pf ppf "%-10s" "threads";
   List.iter (fun s -> Fmt.pf ppf " %12s" s.scheme) series;
   Fmt.pf ppf "@.";
-  List.iteri
-    (fun i threads ->
-      Fmt.pf ppf "%-10d" threads;
+  List.iter
+    (fun x ->
+      Fmt.pf ppf "%-10d" x;
       List.iter
-        (fun s -> Fmt.pf ppf " %12.3f" (value (snd (List.nth s.points i))))
+        (fun s ->
+          match List.assoc_opt x s.points with
+          | Some r -> Fmt.pf ppf " %12.3f" (value r)
+          | None -> Fmt.pf ppf " %12s" "-")
         series;
       Fmt.pf ppf "@.")
     grid;
@@ -131,10 +107,8 @@ let print_unreclaimed ppf g =
 (* -- Figures 8/9 (x86 write-heavy), 11/12 (x86 read-mostly),
       13/14 (PPC write-heavy), 15/16 (PPC read-mostly) ------------------- *)
 
-let sub_figs = [ Registry.Hm_list; Registry.Bonsai; Registry.Hashmap;
-                 Registry.Nm_tree ]
-
-let fig_pair ppf ~scale ~arch ~mix ~(thr_fig : string) ~(unr_fig : string) =
+let fig_pair ?cache ?on_progress ppf ~scale ~arch ~mix ~(thr_fig : string)
+    ~(unr_fig : string) =
   let grid =
     match arch with
     | Registry.X86 -> x86_grid scale
@@ -145,42 +119,43 @@ let fig_pair ppf ~scale ~arch ~mix ~(thr_fig : string) ~(unr_fig : string) =
     (fun i ds ->
       let letter = List.nth letters i in
       let g =
-        run_grid
-          ~title:(Fmt.str "Fig. %s%s/%s%s — %s" thr_fig letter unr_fig letter
-                    (Registry.ds_name ds))
-          ~ds ~mix ~arch ~scale ~grid
+        run_grid ?cache ?on_progress
+          ~title:
+            (Fmt.str "Fig. %s%s/%s%s — %s" thr_fig letter unr_fig letter
+               (Registry.ds_name ds))
+          ~ds ~mix ~arch ~scale ~grid ()
       in
-      print_throughput ppf { g with title = "Fig. " ^ thr_fig ^ letter ^ " — "
-                                            ^ Registry.ds_name ds };
-      print_unreclaimed ppf { g with title = "Fig. " ^ unr_fig ^ letter ^ " — "
-                                             ^ Registry.ds_name ds })
-    sub_figs
+      print_throughput ppf
+        { g with title = "Fig. " ^ thr_fig ^ letter ^ " — " ^ Registry.ds_name ds };
+      print_unreclaimed ppf
+        { g with title = "Fig. " ^ unr_fig ^ letter ^ " — " ^ Registry.ds_name ds })
+    Registry.paper_structures
 
-let fig8_9 ppf ~scale =
+let fig8_9 ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf "# Figures 8 & 9 — x86-64, write-heavy (50%% ins / 50%% del)@.@.";
-  fig_pair ppf ~scale ~arch:Registry.X86 ~mix:Workload.write_heavy
-    ~thr_fig:"8" ~unr_fig:"9"
+  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.X86
+    ~mix:Workload.write_heavy ~thr_fig:"8" ~unr_fig:"9"
 
-let fig11_12 ppf ~scale =
+let fig11_12 ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf "# Figures 11 & 12 — x86-64, read-mostly (90%% get / 10%% put)@.@.";
-  fig_pair ppf ~scale ~arch:Registry.X86 ~mix:Workload.read_mostly
-    ~thr_fig:"11" ~unr_fig:"12"
+  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.X86
+    ~mix:Workload.read_mostly ~thr_fig:"11" ~unr_fig:"12"
 
-let fig13_14 ppf ~scale =
+let fig13_14 ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf
     "# Figures 13 & 14 — PowerPC (Hyaline over LL/SC heads), write-heavy@.@.";
-  fig_pair ppf ~scale ~arch:Registry.Ppc ~mix:Workload.write_heavy
-    ~thr_fig:"13" ~unr_fig:"14"
+  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.Ppc
+    ~mix:Workload.write_heavy ~thr_fig:"13" ~unr_fig:"14"
 
-let fig15_16 ppf ~scale =
+let fig15_16 ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf
     "# Figures 15 & 16 — PowerPC (Hyaline over LL/SC heads), read-mostly@.@.";
-  fig_pair ppf ~scale ~arch:Registry.Ppc ~mix:Workload.read_mostly
-    ~thr_fig:"15" ~unr_fig:"16"
+  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.Ppc
+    ~mix:Workload.read_mostly ~thr_fig:"15" ~unr_fig:"16"
 
 (* -- Figure 10a: robustness under stalled threads ------------------------ *)
 
-let fig10a ppf ~scale =
+let fig10a ?cache ?on_progress ppf ~scale =
   let active, stall_grid, budget =
     match scale with
     | Quick -> (16, [ 0; 2; 4; 8; 12; 16 ], 1_000_000)
@@ -197,53 +172,48 @@ let fig10a ppf ~scale =
     "(Hyaline-S capped at k=%d slots; its adaptive variant resizes, §4.3)@.@."
     capped_slots;
   let cfg_plain =
-    { (base_cfg ~max_threads:1) with
-      slots = 16;
-      batch_size = 16;
-      era_freq = 16 }
+    { (base_cfg ~max_threads:1) with slots = 16; batch_size = 16; era_freq = 16 }
   in
   let cfg_capped ~adaptive =
     { cfg_plain with slots = capped_slots; ack_threshold = 16; adaptive }
   in
   let entries =
     [
-      ("Hyaline", (module Registry.Hyaline : Registry.SMR), cfg_plain);
-      ("Hyaline-1", (module Registry.Hyaline1), cfg_plain);
-      ("Hyaline-S", (module Registry.Hyaline_s), cfg_capped ~adaptive:false);
-      ( "Hyaline-S+resize",
-        (module Registry.Hyaline_s),
-        cfg_capped ~adaptive:true );
-      ("Hyaline-1S", (module Registry.Hyaline1s), cfg_plain);
-      ("Epoch", (module Registry.Ebr), cfg_plain);
-      ("IBR", (module Registry.Ibr), cfg_plain);
-      ("HE", (module Registry.He), cfg_plain);
-      ("HP", (module Registry.Hp), cfg_plain);
+      ("Hyaline", "Hyaline", cfg_plain);
+      ("Hyaline-1", "Hyaline-1", cfg_plain);
+      ("Hyaline-S", "Hyaline-S", cfg_capped ~adaptive:false);
+      ("Hyaline-S+resize", "Hyaline-S", cfg_capped ~adaptive:true);
+      ("Hyaline-1S", "Hyaline-1S", cfg_plain);
+      ("Epoch", "Epoch", cfg_plain);
+      ("IBR", "IBR", cfg_plain);
+      ("HE", "HE", cfg_plain);
+      ("HP", "HP", cfg_plain);
     ]
   in
-  let series =
-    List.map
-      (fun (name, scheme, cfg) ->
-        {
-          scheme = name;
-          points =
+  let plan =
+    {
+      Plan.name = "fig10a";
+      cells =
+        List.concat_map
+          (fun (label, scheme, cfg) ->
             List.map
               (fun stalled ->
-                ( stalled,
-                  run_point ~cfg ~budget ~prefill:500 ~stalled
-                    ~ds:Registry.Hashmap ~scale ~mix:Workload.write_heavy
-                    scheme active ))
-              stall_grid;
-        })
-      entries
+                Plan.cell ~label ~scale ~stalled ~cfg ~budget ~prefill:500
+                  ~mix:Workload.write_heavy ~scheme ~structure:Registry.Hashmap
+                  ~threads:active ())
+              stall_grid)
+          entries;
+    }
   in
+  let series = exec ?cache ?on_progress ~x:(fun c -> c.Plan.stalled) plan in
   print_table ppf
-    { title = "Fig. 10a — stalled threads (x axis)"; series }
+    { title = "Fig. 10a — stalled threads (x axis)"; grid = stall_grid; series }
     ~ylabel:"avg unreclaimed objects (sampled per op)"
     ~value:(fun r -> r.avg_unreclaimed)
 
 (* -- Figure 10b: trimming with few slots --------------------------------- *)
 
-let fig10b ppf ~scale =
+let fig10b ?cache ?on_progress ppf ~scale =
   let grid =
     match scale with
     | Quick -> [ 1; 2; 4; 8; 16; 24 ]
@@ -254,28 +224,29 @@ let fig10b ppf ~scale =
   let cfg = { (base_cfg ~max_threads:1) with slots } in
   let entries =
     [
-      ("Hyaline(trim)", (module Registry.Hyaline : Registry.SMR), true);
-      ("Hyaline-S(trim)", (module Registry.Hyaline_s), true);
-      ("Hyaline", (module Registry.Hyaline), false);
-      ("Hyaline-S", (module Registry.Hyaline_s), false);
+      ("Hyaline(trim)", "Hyaline", true);
+      ("Hyaline-S(trim)", "Hyaline-S", true);
+      ("Hyaline", "Hyaline", false);
+      ("Hyaline-S", "Hyaline-S", false);
     ]
   in
-  let series =
-    List.map
-      (fun (name, scheme, use_trim) ->
-        {
-          scheme = name;
-          points =
+  let plan =
+    {
+      Plan.name = "fig10b";
+      cells =
+        List.concat_map
+          (fun (label, scheme, use_trim) ->
             List.map
               (fun threads ->
-                ( threads,
-                  run_point ~cfg ~use_trim ~ds:Registry.Hashmap ~scale
-                    ~mix:Workload.write_heavy scheme threads ))
-              grid;
-        })
-      entries
+                Plan.cell ~label ~scale ~cfg ~use_trim
+                  ~mix:Workload.write_heavy ~scheme ~structure:Registry.Hashmap
+                  ~threads ())
+              grid)
+          entries;
+    }
   in
-  print_throughput ppf { title = "Fig. 10b — trimming (k<=8)"; series }
+  let series = exec ?cache ?on_progress ~x:(fun c -> c.Plan.threads) plan in
+  print_throughput ppf { title = "Fig. 10b — trimming (k<=8)"; grid; series }
 
 (* -- Table 1: scheme comparison ------------------------------------------ *)
 
@@ -325,7 +296,7 @@ let micro_costs (module S : Registry.SMR) =
 
 (* Qualitative columns as classified by the paper's Table 1. *)
 let transparency = function
-  | "Hyaline" | "Hyaline-S" -> "Yes"
+  | "Hyaline" | "Hyaline-S" | "Hyaline/llsc" | "Hyaline-S/llsc" -> "Yes"
   | "Hyaline-1" | "Hyaline-1S" -> "Almost"
   | "Epoch" | "HP" | "HE" | "IBR" -> "No (retire)"
   | "Leaky" -> "n/a"
@@ -341,5 +312,5 @@ let table1 ppf =
       Fmt.pf ppf "%-12s %8s %12s %12.2f %10.2f %10.2f@." name
         (if S.robust then "yes" else "no")
         (transparency name) el de re)
-    (Registry.all_schemes Registry.X86);
+    (Registry.Sim.all_schemes Registry.X86);
   Fmt.pf ppf "@."

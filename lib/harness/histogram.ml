@@ -36,6 +36,7 @@ let merge into from =
   if from.max > into.max then into.max <- from.max
 
 let count h = h.count
+let sum h = h.sum
 let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
 
 (* Upper bound of the bucket containing the [p]-th percentile (p in 0-100):
@@ -70,4 +71,13 @@ let of_list l =
       h.buckets.(i) <- n;
       h.count <- h.count + n)
     l;
+  h
+
+(* Exact reconstruction (including [sum] and [max], which [of_list] cannot
+   recover from bucket counts alone) — the executor's result-cache round
+   trip relies on this being lossless. *)
+let of_parts ~buckets ~sum ~max =
+  let h = of_list buckets in
+  h.sum <- sum;
+  h.max <- max;
   h

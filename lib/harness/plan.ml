@@ -1,0 +1,191 @@
+(** See plan.mli — declarative sweep descriptions with stable cell
+    hashes. *)
+
+type scale = Quick | Full
+
+type cell = {
+  scheme : string;
+  label : string;
+  structure : Registry.structure;
+  arch : Registry.arch;
+  scale : scale;
+  threads : int;
+  stalled : int;
+  mix : Workload.mix;
+  budget : int option;
+  prefill : int option;
+  use_trim : bool;
+  cfg : Smr.Smr_intf.config option;
+  seed : int option;
+}
+
+type t = { name : string; cells : cell list }
+
+(* -- workload presets ----------------------------------------------------- *)
+
+(* Per-structure workload presets
+   (prefill, key range, budget, buckets, op body cost). The op body charges
+   the per-operation work the cell model does not see (hashing, key
+   comparisons, allocator) — uniform across schemes; the list needs none,
+   its traversal cost is fully explicit. The stack and queue run as
+   set-view bags (Registry adapters): key range only spreads the pushed
+   values, so it just has to exceed the prefill. *)
+let preset scale ds =
+  let q (prefill, key_range, budget, buckets, op_body) =
+    match scale with
+    | Quick -> (prefill, key_range, budget, buckets, op_body)
+    | Full -> (prefill * 2, key_range * 2, budget * 4, buckets, op_body)
+  in
+  match ds with
+  | Registry.List_set -> q (200, 400, 200_000, 0, 0)
+  | Registry.Hashmap -> q (2_000, 4_000, 100_000, 4096, 25)
+  | Registry.Nm_tree -> q (2_000, 4_000, 120_000, 0, 15)
+  | Registry.Bonsai -> q (512, 1_024, 120_000, 0, 10)
+  | Registry.Skiplist -> q (512, 1_024, 120_000, 0, 10)
+  | Registry.Stack -> q (256, 4_096, 100_000, 0, 0)
+  | Registry.Queue -> q (256, 4_096, 100_000, 0, 0)
+
+let x86_grid = function
+  | Quick -> [ 1; 4; 9; 18; 36; 72; 108; 144 ]
+  | Full -> [ 1; 4; 9; 18; 27; 36; 54; 72; 90; 108; 126; 144 ]
+
+let ppc_grid = function
+  | Quick -> [ 1; 4; 8; 16; 32; 64; 96; 128 ]
+  | Full -> [ 1; 4; 8; 16; 24; 32; 48; 64; 96; 128 ]
+
+let base_cfg ~max_threads =
+  {
+    Smr.Smr_intf.default_config with
+    max_threads;
+    slots = 32;
+    batch_size = 32;
+    era_freq = 64;
+    ack_threshold = 256;
+  }
+
+let spec_of_cell (c : cell) : Workload.spec =
+  let preset_prefill, key_range, preset_budget, buckets, op_body =
+    preset c.scale c.structure
+  in
+  (* The paper runs fixed wall-clock time, so total operations grow with
+     the thread count; scale the simulated budget likewise — it also keeps
+     every thread past SMR warm-up (several filled batches / scan periods)
+     at every grid point. *)
+  let budget =
+    match c.budget with
+    | Some b -> b
+    | None -> preset_budget * max 1 (c.threads / 4)
+  in
+  let prefill = Option.value c.prefill ~default:preset_prefill in
+  let cfg =
+    match c.cfg with
+    | Some cfg ->
+        { cfg with Smr.Smr_intf.max_threads = c.threads + c.stalled + 1 }
+    | None -> base_cfg ~max_threads:(c.threads + c.stalled + 1)
+  in
+  {
+    Workload.threads = c.threads;
+    stalled = c.stalled;
+    key_range;
+    prefill;
+    mix = c.mix;
+    budget;
+    seed = Option.value c.seed ~default:(42 + c.threads);
+    cfg;
+    use_trim = c.use_trim;
+    buckets = (if buckets = 0 then 1024 else buckets);
+    op_body;
+  }
+
+(* -- builders ------------------------------------------------------------- *)
+
+let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
+    ?(mix = Workload.write_heavy) ?budget ?prefill ?(use_trim = false) ?cfg
+    ?seed ~scheme ~structure ~threads () =
+  {
+    scheme;
+    label = Option.value label ~default:scheme;
+    structure;
+    arch;
+    scale;
+    threads;
+    stalled;
+    mix;
+    budget;
+    prefill;
+    use_trim;
+    cfg;
+    seed;
+  }
+
+let grid ~name ?(arch = Registry.X86) ?(scale = Quick)
+    ?(mix = Workload.write_heavy) ?schemes ?structures ~threads () =
+  let schemes =
+    match schemes with Some s -> s | None -> Registry.scheme_names arch
+  in
+  let structures =
+    match structures with Some s -> s | None -> Registry.paper_structures
+  in
+  let cells =
+    List.concat_map
+      (fun structure ->
+        List.concat_map
+          (fun scheme ->
+            if not (Registry.supported structure scheme) then []
+            else
+              List.map
+                (fun t -> cell ~arch ~scale ~mix ~scheme ~structure ~threads:t ())
+                threads)
+          schemes)
+      structures
+  in
+  { name; cells }
+
+(* -- identity ------------------------------------------------------------- *)
+
+(* The key renders the RESOLVED run inputs, not the sugar that produced
+   them: if a preset or default changes, so does the key, and stale cache
+   entries simply stop matching. The mutable Sim_cell cost model is part
+   of the simulation input (the sensitivity sweep ablates it), so it is
+   part of the key too. *)
+let cell_key (c : cell) : string =
+  let s = spec_of_cell c in
+  let cfg = s.Workload.cfg in
+  let costs = !Smr_runtime.Sim_cell.costs in
+  Printf.sprintf
+    "hyaline-cell v1|runtime=sim|scheme=%s|structure=%s|arch=%s|threads=%d|stalled=%d|read_pct=%d|key_range=%d|prefill=%d|budget=%d|seed=%d|use_trim=%b|buckets=%d|op_body=%d|cfg=%d,%d,%d,%d,%d,%b,%d|costs=%d,%d,%d,%d,%d"
+    c.scheme
+    (Registry.structure_name c.structure)
+    (Registry.arch_name c.arch)
+    s.Workload.threads s.Workload.stalled s.Workload.mix.Workload.read_pct
+    s.Workload.key_range s.Workload.prefill s.Workload.budget s.Workload.seed
+    s.Workload.use_trim s.Workload.buckets s.Workload.op_body
+    cfg.Smr.Smr_intf.max_threads cfg.Smr.Smr_intf.slots
+    cfg.Smr.Smr_intf.batch_size cfg.Smr.Smr_intf.era_freq
+    cfg.Smr.Smr_intf.ack_threshold cfg.Smr.Smr_intf.adaptive
+    cfg.Smr.Smr_intf.hp_indices costs.Smr_runtime.Sim_cell.read
+    costs.Smr_runtime.Sim_cell.write costs.Smr_runtime.Sim_cell.cas
+    costs.Smr_runtime.Sim_cell.faa costs.Smr_runtime.Sim_cell.swap
+
+let cell_hash c = Digest.to_hex (Digest.string (cell_key c))
+
+(* -- conformance axes ----------------------------------------------------- *)
+
+type axes = {
+  ax_schemes : string list;
+  ax_structures : Registry.structure list;
+}
+
+let conformance ?schemes ?structures () =
+  {
+    ax_schemes =
+      (match schemes with Some s -> s | None -> Registry.every_scheme_name);
+    ax_structures =
+      (match structures with Some s -> s | None -> Registry.structures);
+  }
+
+let pairs axes =
+  List.concat_map
+    (fun scheme ->
+      List.map (fun structure -> (scheme, structure)) axes.ax_structures)
+    axes.ax_schemes

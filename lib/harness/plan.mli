@@ -1,0 +1,111 @@
+(** Declarative experiment plans: {e what} to run, decoupled from {e how}
+    ({!Executor} runs them).
+
+    A plan is a named list of fully-resolved {!cell}s — one workload run
+    each: scheme (by canonical {!Registry} name), structure, thread count,
+    mix, and every override the {!Workload} spec admits. Each cell has a
+    stable content hash over its {e resolved} inputs (the exact
+    [Workload.spec] fields plus the scheme, structure, arch and the current
+    {!Smr_runtime.Sim_cell} cost model), which keys the executor's on-disk
+    result cache: two cells collide iff they would perform the identical
+    simulated run. Presentation-only fields ([label], plan [name]) are
+    excluded from the hash. *)
+
+type scale = Quick | Full
+(** Workload sizes are scaled ≈1/25 from the paper's configuration so a
+    full sweep runs in seconds on one core; [Full] quadruples budgets and
+    doubles sizes. The scaling is uniform across schemes, so relative
+    shape is preserved. *)
+
+type cell = {
+  scheme : string;  (** canonical registry name *)
+  label : string;  (** series label in tables/figures; default [scheme] *)
+  structure : Registry.structure;
+  arch : Registry.arch;
+  scale : scale;
+  threads : int;  (** active worker threads *)
+  stalled : int;  (** extra stalled threads (Fig. 10a) *)
+  mix : Workload.mix;
+  budget : int option;  (** [None]: preset budget × max 1 (threads/4) *)
+  prefill : int option;  (** [None]: preset prefill *)
+  use_trim : bool;  (** Fig. 10b guard-refresh mode *)
+  cfg : Smr.Smr_intf.config option;
+      (** [None]: {!base_cfg}. [max_threads] is overridden either way to
+          fit [threads + stalled + 1]. *)
+  seed : int option;  (** [None]: [42 + threads] (the historical default) *)
+}
+
+type t = { name : string; cells : cell list }
+
+(* -- workload presets (shared by every driver) ------------------------- *)
+
+val preset : scale -> Registry.structure -> int * int * int * int * int
+(** [(prefill, key_range, budget, buckets, op_body)] per structure. *)
+
+val base_cfg : max_threads:int -> Smr.Smr_intf.config
+val x86_grid : scale -> int list
+val ppc_grid : scale -> int list
+
+val spec_of_cell : cell -> Workload.spec
+(** Resolve a cell to the exact workload specification it runs. *)
+
+(* -- builders ----------------------------------------------------------- *)
+
+val cell :
+  ?label:string ->
+  ?arch:Registry.arch ->
+  ?scale:scale ->
+  ?stalled:int ->
+  ?mix:Workload.mix ->
+  ?budget:int ->
+  ?prefill:int ->
+  ?use_trim:bool ->
+  ?cfg:Smr.Smr_intf.config ->
+  ?seed:int ->
+  scheme:string ->
+  structure:Registry.structure ->
+  threads:int ->
+  unit ->
+  cell
+(** Defaults: [arch = X86], [scale = Quick], [stalled = 0],
+    [mix = Workload.write_heavy], [use_trim = false], the rest [None]. *)
+
+val grid :
+  name:string ->
+  ?arch:Registry.arch ->
+  ?scale:scale ->
+  ?mix:Workload.mix ->
+  ?schemes:string list ->
+  ?structures:Registry.structure list ->
+  threads:int list ->
+  unit ->
+  t
+(** The standard sweep: structure-major, then scheme, then thread count.
+    Defaults: [schemes = Registry.scheme_names arch],
+    [structures = Registry.paper_structures]. Pairs excluded by
+    {!Registry.supported} are omitted. *)
+
+(* -- identity ----------------------------------------------------------- *)
+
+val cell_key : cell -> string
+(** Canonical one-line rendering of everything that determines the run's
+    outcome. Human-readable; stored alongside cached results so hash
+    collisions are detectable. *)
+
+val cell_hash : cell -> string
+(** Hex MD5 of {!cell_key} — the cache key. *)
+
+(* -- conformance axes --------------------------------------------------- *)
+
+type axes = {
+  ax_schemes : string list;
+  ax_structures : Registry.structure list;
+}
+(** The scheme × structure extent of a conformance sweep ({!Verify}),
+    expressed through the same registry names as workload plans. *)
+
+val conformance :
+  ?schemes:string list -> ?structures:Registry.structure list -> unit -> axes
+(** Defaults: all 11 canonical schemes × all 7 structures. *)
+
+val pairs : axes -> (string * Registry.structure) list

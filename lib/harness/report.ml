@@ -23,13 +23,7 @@ type point = {
 
 type t = { name : string; arch : Registry.arch; points : point list }
 
-let arch_name = function Registry.X86 -> "x86" | Registry.Ppc -> "ppc"
-
-let structure_key = function
-  | Registry.Hm_list -> "list"
-  | Registry.Hashmap -> "hashmap"
-  | Registry.Nm_tree -> "nm-tree"
-  | Registry.Bonsai -> "bonsai"
+let arch_name = Registry.arch_name
 
 (* -- JSON emission ------------------------------------------------------- *)
 
@@ -184,7 +178,7 @@ let validate ?schemes parsed =
   let required =
     match schemes with
     | Some s -> s
-    | None -> List.map fst (Registry.all_schemes Registry.X86)
+    | None -> Registry.scheme_names Registry.X86
   in
   let covered name =
     List.exists (fun p -> String.equal p.p_scheme name) parsed.p_points
@@ -199,28 +193,39 @@ let validate ?schemes parsed =
 
 (* -- collection ---------------------------------------------------------- *)
 
-(** Sweep [schemes_for structure arch] × [structures] × [thread_counts].
-    Budgets come from the {!Figures} presets at the given scale. *)
-let collect ~name ~arch ~scale ~structures ~thread_counts =
-  let points =
-    List.concat_map
-      (fun ds ->
-        List.concat_map
-          (fun (scheme_name, scheme) ->
-            List.map
-              (fun threads ->
-                {
-                  scheme = scheme_name;
-                  structure = structure_key ds;
-                  threads;
-                  r = Figures.run_point ~ds ~scale ~mix:Workload.write_heavy
-                        scheme threads;
-                })
-              thread_counts)
-          (Registry.schemes_for ds arch))
-      structures
+(** Sweep schemes × [structures] × [thread_counts] through the plan
+    executor (budgets come from the {!Plan} presets at the given scale).
+    Failed cells are reported on stderr and dropped from the report; the
+    executor stats are returned alongside so drivers can surface cache
+    behaviour. *)
+let collect ?cache ?on_progress ~name ~arch ~scale ~structures ~thread_counts
+    () =
+  let plan =
+    Plan.grid ~name ~arch ~scale ~mix:Workload.write_heavy ~structures
+      ~threads:thread_counts ()
   in
-  { name; arch; points }
+  let summary = Executor.run ?cache ?on_progress plan in
+  let points =
+    List.filter_map
+      (fun (row : Executor.row) ->
+        let cell = row.Executor.cell in
+        match row.Executor.outcome with
+        | Executor.Done r ->
+            Some
+              {
+                scheme = cell.Plan.scheme;
+                structure = Registry.structure_name cell.Plan.structure;
+                threads = cell.Plan.threads;
+                r;
+              }
+        | Executor.Failed msg ->
+            Fmt.epr "report %s: %s/%s t=%d failed: %s@." name cell.Plan.scheme
+              (Registry.structure_name cell.Plan.structure)
+              cell.Plan.threads msg;
+            None)
+      summary.Executor.rows
+  in
+  ({ name; arch; points }, summary.Executor.stats)
 
 let filename t = "BENCH_" ^ t.name ^ ".json"
 

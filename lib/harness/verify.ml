@@ -21,49 +21,19 @@ module type CONC_SET = Smr_ds.Ds_intf.CONC_SET
 (* The scheme x structure grid                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Every scheme in lib/smr + lib/hyaline over the simulated runtime: the
-   Registry's x86 set plus the LL/SC-headed Hyaline variants, so both
-   head implementations are conformance-checked. *)
-let schemes : (string * (module SMR)) list =
-  Registry.all_schemes Registry.X86
-  @ [
-      ("Hyaline-LLSC", (module Registry.Hyaline_llsc));
-      ("Hyaline-S-LLSC", (module Registry.Hyaline_s_llsc));
-    ]
+(* Every scheme over the simulated runtime — the Registry's full set,
+   including the LL/SC-headed Hyaline variants, so both head
+   implementations are conformance-checked. The structure axis is the
+   Registry's too: there is no private list here any more. *)
+let schemes : (string * (module SMR)) list = Registry.Sim.every_scheme
 
-type structure =
-  | Stack
-  | Queue
-  | List_set
-  | Hashmap
-  | Skiplist
-  | Nm_tree
-  | Bonsai
+type structure = Registry.structure
 
-let structures =
-  [ Stack; Queue; List_set; Hashmap; Skiplist; Nm_tree; Bonsai ]
-
-let structure_name = function
-  | Stack -> "stack"
-  | Queue -> "queue"
-  | List_set -> "list"
-  | Hashmap -> "hashmap"
-  | Skiplist -> "skiplist"
-  | Nm_tree -> "nm-tree"
-  | Bonsai -> "bonsai"
-
-let structure_of_name n =
-  List.find_opt (fun s -> structure_name s = n) structures
-
-let scheme_of_name n =
-  List.assoc_opt n schemes
-
-(* Per-pointer hazards cannot protect Bonsai's snapshot traversal
-   (Registry's own exclusion, §6 / Fig. 8b). *)
-let supported structure (scheme_name : string) =
-  match structure with
-  | Bonsai -> scheme_name <> "HP" && scheme_name <> "HE"
-  | _ -> true
+let structures = Registry.structures
+let structure_name = Registry.structure_name
+let structure_of_name = Registry.structure_of_name
+let scheme_of_name n = List.assoc_opt n schemes
+let supported = Registry.supported
 
 (* Aggressive-reclamation config: tiny batches and eras so every few
    operations cross a seal/scan boundary — the reclamation machinery is
@@ -87,6 +57,12 @@ let default_shape = { threads = 2; ops = 2; keys = 2; prog_seed = 7 }
 
 let reclaiming (module S : SMR) = S.scheme_name <> "Leaky"
 
+(* One uniform program over the set facade: the stack and queue
+   participate through the Registry's set-view adapters (insert = push /
+   enqueue, remove = pop / dequeue, contains = peek), so their retire
+   paths and protected traversals are exercised by the same generator.
+   The queue's dummy node is always live, so quiescence leaves
+   retired == freed there too, same as the sets. *)
 let set_program (module D : CONC_SET) ~reclaiming (shape : shape) :
     Explore.program =
  fun () ->
@@ -106,62 +82,9 @@ let set_program (module D : CONC_SET) ~reclaiming (shape : shape) :
       D.flush set;
       (not reclaiming) || Smr.Smr_intf.unreclaimed (D.stats set) = 0 )
 
-let stack_program (module S : SMR) (shape : shape) : Explore.program =
-  let module St = Smr_ds.Treiber_stack.Make (S) in
-  fun () ->
-    let stack = St.create (tiny_cfg ~threads:shape.threads) in
-    let body tid () =
-      let rng = Random.State.make [| shape.prog_seed; tid |] in
-      for i = 1 to shape.ops do
-        if Random.State.bool rng then St.push stack ((tid * 100) + i)
-        else ignore (St.pop stack)
-      done
-    in
-    ( List.init shape.threads body,
-      fun () ->
-        St.flush stack;
-        (not (reclaiming (module S)))
-        || Smr.Smr_intf.unreclaimed (St.stats stack) = 0 )
-
-let queue_program (module S : SMR) (shape : shape) : Explore.program =
-  let module Q = Smr_ds.Ms_queue.Make (S) in
-  fun () ->
-    let q = Q.create (tiny_cfg ~threads:shape.threads) in
-    let body tid () =
-      let rng = Random.State.make [| shape.prog_seed; tid |] in
-      for i = 1 to shape.ops do
-        if Random.State.bool rng then Q.enqueue q ((tid * 100) + i)
-        else ignore (Q.dequeue q)
-      done
-    in
-    ( List.init shape.threads body,
-      fun () ->
-        Q.flush q;
-        (* The queue's dummy node is always live, so quiescence leaves
-           retired == freed, same as the sets. *)
-        (not (reclaiming (module S)))
-        || Smr.Smr_intf.unreclaimed (Q.stats q) = 0 )
-
 let program_for (module S : SMR) structure shape : Explore.program =
-  let r = reclaiming (module S) in
-  match structure with
-  | Stack -> stack_program (module S) shape
-  | Queue -> queue_program (module S) shape
-  | List_set ->
-      let module D = Smr_ds.Harris_michael_list.Make (S) in
-      set_program (module D) ~reclaiming:r shape
-  | Hashmap ->
-      let module D = Smr_ds.Michael_hashmap.Make (S) in
-      set_program (module D) ~reclaiming:r shape
-  | Skiplist ->
-      let module D = Smr_ds.Skiplist.Make (S) in
-      set_program (module D) ~reclaiming:r shape
-  | Nm_tree ->
-      let module D = Smr_ds.Natarajan_mittal_tree.Make (S) in
-      set_program (module D) ~reclaiming:r shape
-  | Bonsai ->
-      let module D = Smr_ds.Bonsai_tree.Make (S) in
-      set_program (module D) ~reclaiming:r shape
+  let module D = (val Registry.Sim.make_set structure (module S)) in
+  set_program (module D) ~reclaiming:(reclaiming (module S)) shape
 
 (* ------------------------------------------------------------------ *)
 (* The conformance matrix                                              *)
@@ -214,16 +137,17 @@ let run_cell ?(seed = 0) ?(budgets = smoke_budgets) ?(shape = default_shape)
   { c_scheme = scheme_name; c_structure = structure; c_mode = mode; c_verdict = verdict }
 
 let run_matrix ?(seed = 0) ?(budgets = smoke_budgets)
-    ?(shape = default_shape) () : cell list =
+    ?(shape = default_shape) ?(axes = Plan.conformance ()) () : cell list =
   List.concat_map
-    (fun scheme ->
-      List.concat_map
-        (fun structure ->
+    (fun (scheme_name, structure) ->
+      match scheme_of_name scheme_name with
+      | None -> invalid_arg ("Verify.run_matrix: unknown scheme " ^ scheme_name)
+      | Some s ->
           List.map
-            (fun mode -> run_cell ~seed ~budgets ~shape scheme structure mode)
+            (fun mode ->
+              run_cell ~seed ~budgets ~shape (scheme_name, s) structure mode)
             (modes_of_budgets budgets))
-        structures)
-    schemes
+    (Plan.pairs axes)
 
 let failures cells =
   List.filter (fun c -> match c.c_verdict with Fail _ -> true | _ -> false)

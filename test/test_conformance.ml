@@ -40,7 +40,7 @@ let test_matrix () =
     (fun c ->
       Alcotest.(check bool)
         "skips only on bonsai" true
-        (c.Verify.c_structure = Verify.Bonsai))
+        (c.Verify.c_structure = Smr_harness.Registry.Bonsai))
     skipped;
   match Verify.failures cells with
   | [] -> ()

@@ -1,0 +1,164 @@
+(** The experiment engine: plan cell hashing, the on-disk result cache,
+    resume-after-interrupt semantics (a warm rerun simulates nothing and
+    reproduces identical results), and per-cell fault isolation (a
+    raising cell becomes a failure row, not an aborted sweep). *)
+
+module Plan = Smr_harness.Plan
+module Executor = Smr_harness.Executor
+module Registry = Smr_harness.Registry
+module Json = Smr_harness.Json
+module Cell = Smr_runtime.Sim_cell
+
+(* A cheap cell: tiny budget, small prefill, two threads on the list. *)
+let tiny ?(scheme = "Epoch") ?(threads = 2) ?(prefill = 8) ?label () =
+  Plan.cell ?label ~scheme ~structure:Registry.List_set ~threads ~prefill
+    ~budget:2_000 ()
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "hyaline_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+(* -- cell hashing --------------------------------------------------------- *)
+
+let test_hash_stability () =
+  let c = tiny () in
+  Alcotest.(check string) "hash is deterministic" (Plan.cell_hash c)
+    (Plan.cell_hash (tiny ()));
+  Alcotest.(check string)
+    "label is presentation-only — not part of the hash" (Plan.cell_hash c)
+    (Plan.cell_hash (tiny ~label:"renamed" ()));
+  Alcotest.(check bool)
+    "thread count changes the hash" false
+    (String.equal (Plan.cell_hash c) (Plan.cell_hash (tiny ~threads:3 ())));
+  Alcotest.(check bool)
+    "scheme changes the hash" false
+    (String.equal (Plan.cell_hash c) (Plan.cell_hash (tiny ~scheme:"HP" ())));
+  (* The mutable cost model is a simulation input (the sensitivity sweep
+     ablates it), so it must be part of the identity too. *)
+  let saved = !Cell.costs in
+  let default_hash = Plan.cell_hash c in
+  Fun.protect
+    ~finally:(fun () -> Cell.costs := saved)
+    (fun () ->
+      Cell.costs := { saved with Cell.cas = saved.Cell.cas + 1 };
+      Alcotest.(check bool)
+        "cost model changes the hash" false
+        (String.equal default_hash (Plan.cell_hash c)))
+
+(* -- cache round trip ----------------------------------------------------- *)
+
+let test_cache_round_trip () =
+  (* Serialization is a lossless inverse pair... *)
+  let r = Executor.run_cell_exn (tiny ()) in
+  let j = Executor.result_to_json r in
+  let r' = Executor.result_of_json j in
+  Alcotest.(check string)
+    "result_to_json . result_of_json is the identity"
+    (Json.to_string j)
+    (Json.to_string (Executor.result_to_json r'));
+  (* ... and the cache file write/read path preserves it bit for bit. *)
+  with_tmp_dir (fun dir ->
+      let plan = { Plan.name = "round-trip"; cells = [ tiny () ] } in
+      let cold = Executor.run ~cache:dir plan in
+      let warm = Executor.run ~cache:dir plan in
+      let result s =
+        match (List.hd s.Executor.rows).Executor.outcome with
+        | Executor.Done r -> Json.to_string (Executor.result_to_json r)
+        | Executor.Failed m -> Alcotest.fail m
+      in
+      Alcotest.(check int) "cold run executes" 1 cold.Executor.stats.executed;
+      Alcotest.(check bool)
+        "warm row is marked from_cache" true
+        (List.hd warm.Executor.rows).Executor.from_cache;
+      Alcotest.(check string)
+        "cached result is byte-identical" (result cold) (result warm))
+
+(* -- resume after interrupt ----------------------------------------------- *)
+
+let test_resume_executes_nothing () =
+  with_tmp_dir (fun dir ->
+      let plan =
+        {
+          Plan.name = "resume";
+          cells =
+            [ tiny (); tiny ~threads:3 (); tiny ~scheme:"Hyaline" () ];
+        }
+      in
+      let cold = Executor.run ~cache:dir plan in
+      Alcotest.(check int) "cold: all executed" 3 cold.Executor.stats.executed;
+      (* The warm rerun must do no simulated work at all: the global
+         atomic-op counters cannot move if no cell runs. *)
+      let before = Cell.snapshot_counts () in
+      let warm = Executor.run ~cache:dir plan in
+      let after = Cell.snapshot_counts () in
+      Alcotest.(check int) "warm: zero cells executed" 0
+        warm.Executor.stats.executed;
+      Alcotest.(check int) "warm: every cell a cache hit" 3
+        warm.Executor.stats.cache_hits;
+      Alcotest.(check bool) "warm: zero simulated steps" true (before = after);
+      (* A plan edit invalidates exactly the edited cell. *)
+      let edited =
+        { plan with Plan.cells = tiny ~threads:4 () :: plan.Plan.cells }
+      in
+      let partial = Executor.run ~cache:dir edited in
+      Alcotest.(check int) "edited plan: one new cell executed" 1
+        partial.Executor.stats.executed;
+      Alcotest.(check int) "edited plan: rest from cache" 3
+        partial.Executor.stats.cache_hits)
+
+(* -- fault isolation ------------------------------------------------------ *)
+
+let test_failure_row () =
+  with_tmp_dir (fun dir ->
+      (* The middle cell is invalid (prefill > key range makes
+         Workload.run raise); the sweep must record it and carry on. *)
+      let bad = tiny ~prefill:100_000 ~label:"bad" () in
+      let plan =
+        { Plan.name = "faults"; cells = [ tiny (); bad; tiny ~threads:3 () ] }
+      in
+      let s = Executor.run ~cache:dir plan in
+      Alcotest.(check int) "all rows present" 3 (List.length s.Executor.rows);
+      Alcotest.(check int) "one failure" 1 s.Executor.stats.failed;
+      (match (List.nth s.Executor.rows 1).Executor.outcome with
+      | Executor.Failed msg ->
+          Alcotest.(check bool)
+            ("failure names the exception: " ^ msg)
+            true
+            (String.length msg > 0)
+      | Executor.Done _ -> Alcotest.fail "invalid cell reported success");
+      List.iteri
+        (fun i (row : Executor.row) ->
+          if i <> 1 then
+            match row.Executor.outcome with
+            | Executor.Done _ -> ()
+            | Executor.Failed m ->
+                Alcotest.fail ("healthy cell failed too: " ^ m))
+        s.Executor.rows;
+      (* Failures are never cached: a rerun retries the bad cell and
+         replays the good ones. *)
+      let again = Executor.run ~cache:dir plan in
+      Alcotest.(check int) "rerun retries only the failed cell" 1
+        again.Executor.stats.executed;
+      Alcotest.(check int) "rerun replays the healthy cells" 2
+        again.Executor.stats.cache_hits;
+      (* And run_cell_exn surfaces the same failure as an exception. *)
+      match Executor.run_cell_exn bad with
+      | _ -> Alcotest.fail "run_cell_exn did not raise"
+      | exception Failure _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "cell-hash-stability" `Quick test_hash_stability;
+    Alcotest.test_case "cache-round-trip" `Quick test_cache_round_trip;
+    Alcotest.test_case "resume-executes-nothing" `Quick
+      test_resume_executes_nothing;
+    Alcotest.test_case "failure-row" `Quick test_failure_row;
+  ]

@@ -14,4 +14,5 @@ let () =
       ("schemes-unit", Test_schemes_unit.suite);
       ("linearize", Test_linearize.suite);
       ("metrics", Test_metrics.suite);
+      ("executor", Test_executor.suite);
     ]

@@ -27,8 +27,27 @@ fi
 echo "==> bench smoke run"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
-dune exec bin/figures.exe -- bench -n check -t 2 -o "$tmpdir"
+dune exec bin/figures.exe -- bench -n check -t 2 -o "$tmpdir" --no-cache
 test -s "$tmpdir/BENCH_check.json"
+
+# Cache-resume smoke: the same tiny plan twice into a shared cache dir.
+# The first pass populates the cache; the second must execute zero cells
+# (the executor's own stats line says so) and reproduce the report byte
+# for byte — certifying the hash -> store -> lookup -> deserialize loop.
+echo "==> cache resume smoke run"
+mkdir "$tmpdir/out1" "$tmpdir/out2"
+dune exec bin/figures.exe -- bench -n resume -t 2 \
+  -o "$tmpdir/out1" --cache-dir "$tmpdir/cache" >"$tmpdir/pass1.log"
+dune exec bin/figures.exe -- bench -n resume -t 2 \
+  -o "$tmpdir/out2" --cache-dir "$tmpdir/cache" >"$tmpdir/pass2.log"
+grep -q "executed=[1-9]" "$tmpdir/pass1.log" || {
+  echo "cache smoke: first pass executed nothing"; exit 1; }
+grep -q "executed=0 " "$tmpdir/pass2.log" || {
+  echo "cache smoke: second pass re-executed cells"; cat "$tmpdir/pass2.log"; exit 1; }
+grep -q "(100% cached)" "$tmpdir/pass2.log" || {
+  echo "cache smoke: second pass was not fully cached"; cat "$tmpdir/pass2.log"; exit 1; }
+cmp "$tmpdir/out1/BENCH_resume.json" "$tmpdir/out2/BENCH_resume.json" || {
+  echo "cache smoke: warm-cache report differs from cold-cache report"; exit 1; }
 
 # Budgeted adversarial verification: the full scheme x structure matrix
 # under sleep-set DFS, random walks and PCT, plus the stall-injection

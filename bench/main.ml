@@ -240,9 +240,9 @@ let sensitivity ?cache ppf ~scale =
   let schemes = [ "Leaky"; "Epoch"; "HP"; "Hyaline"; "Hyaline-1" ] in
   let models =
     [
-      ("cheap-rmw (cas=2)", { Smr_runtime.Sim_cell.read = 1; write = 2; cas = 2; faa = 2; swap = 2 });
+      ("cheap-rmw (cas=2)", { Smr_runtime.Sim_cell.read = 1; write = 2; cas = 2; faa = 2; swap = 2; alloc = 3 });
       ("default  (cas=4)", Smr_runtime.Sim_cell.default_costs);
-      ("dear-rmw (cas=10)", { read = 1; write = 6; cas = 10; faa = 8; swap = 9 });
+      ("dear-rmw (cas=10)", { read = 1; write = 6; cas = 10; faa = 8; swap = 9; alloc = 8 });
     ]
   in
   Fmt.pf ppf "%-20s" "model";

@@ -84,11 +84,39 @@ let point_cmd =
       value & opt int 0
       & info [ "reads" ] ~doc:"Percentage of get operations (0-100).")
   in
-  let run ds scheme threads stalled reads scale =
+  let node_bytes =
+    Arg.(
+      value & opt int 64
+      & info [ "node-bytes" ]
+          ~doc:
+            "Modelled payload bytes per node (per-scheme overhead is added \
+             on top). Default 64.")
+  in
+  let budget_bytes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-bytes" ]
+          ~doc:
+            "Slab-arena byte budget. Allocations beyond it first trigger \
+             the scheme's reclamation relief; if that frees nothing the run \
+             fails with a simulated OOM. Default: unlimited.")
+  in
+  let run ds scheme threads stalled reads node_bytes budget_bytes scale =
+    let cfg =
+      {
+        (Plan.base_cfg ~max_threads:1) with
+        Smr.Smr_intf.node_bytes;
+        budget_bytes;
+      }
+    in
     let r =
-      Smr_harness.Figures.run_point ~stalled ~ds ~scale
-        ~mix:{ Smr_harness.Workload.read_pct = reads }
-        scheme threads
+      try
+        Smr_harness.Figures.run_point ~stalled ~cfg ~ds ~scale
+          ~mix:{ Smr_harness.Workload.read_pct = reads }
+          scheme threads
+      with Failure msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
     in
     Fmt.pr "ops=%d steps=%d throughput=%.3f avg_unreclaimed=%.1f@." r.ops
       r.steps r.throughput r.avg_unreclaimed;
@@ -101,15 +129,17 @@ let point_cmd =
       h.Smr_harness.Histogram.max;
     let c = r.op_costs in
     Fmt.pr
-      "op costs: read=%d write=%d plain=%d cas=%d faa=%d swap=%d (total %d)@."
+      "op costs: read=%d write=%d plain=%d cas=%d faa=%d swap=%d alloc=%d \
+       (total %d)@."
       c.read_cost c.write_cost c.plain_write_cost c.cas_cost c.faa_cost
-      c.swap_cost
+      c.swap_cost c.alloc_cost
       (Smr_runtime.Sim_cell.total_cost c);
     Fmt.pr "metrics: %a@." Smr.Metrics.pp r.metrics
   in
   Cmd.v (Cmd.info "point" ~doc)
     Term.(
-      const run $ ds $ scheme $ threads $ stalled $ reads $ scale_term)
+      const run $ ds $ scheme $ threads $ stalled $ reads $ node_bytes
+      $ budget_bytes $ scale_term)
 
 let bench_cmd =
   let doc =
@@ -355,6 +385,9 @@ let () =
       fig_cmd "fig8" "Figures 8 & 9: x86-64 write-heavy." fig8_9;
       fig_cmd "fig10a" "Figure 10a: robustness under stalled threads." fig10a;
       fig_cmd "fig10b" "Figure 10b: trimming." fig10b;
+      fig_cmd "footprint"
+        "Resident allocator bytes vs simulated time under stalled readers."
+        footprint;
       fig_cmd "fig11" "Figures 11 & 12: x86-64 read-mostly." fig11_12;
       fig_cmd "fig13" "Figures 13 & 14: PowerPC write-heavy." fig13_14;
       fig_cmd "fig15" "Figures 15 & 16: PowerPC read-mostly." fig15_16;

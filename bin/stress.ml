@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run ds scheme threads ops rounds quiescent =
+let run ds scheme threads ops rounds quiescent node_bytes budget_bytes =
   let module Sched = Smr_runtime.Scheduler in
   let (module D : Smr_harness.Registry.CONC_SET) =
     Smr_harness.Registry.Sim.make_set ds scheme
@@ -18,6 +18,8 @@ let run ds scheme threads ops rounds quiescent =
       slots = 8;
       batch_size = 16;
       era_freq = 16;
+      node_bytes;
+      budget_bytes;
     }
   in
   let failures = ref 0 in
@@ -103,9 +105,27 @@ let () =
       value & opt bool true
       & info [ "quiescent" ] ~doc:"Check full reclamation after each round.")
   in
+  let node_bytes =
+    Arg.(
+      value & opt int 64
+      & info [ "node-bytes" ]
+          ~doc:
+            "Modelled payload bytes per node (per-scheme overhead is added \
+             on top). Default 64.")
+  in
+  let budget_bytes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-bytes" ]
+          ~doc:
+            "Slab-arena byte budget; exceeding it after reclamation relief \
+             makes the round fail with a simulated OOM. Default: unlimited.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "hyaline-stress" ~doc:"Seeded soak testing with the auditor")
-      Term.(const run $ ds $ scheme $ threads $ ops $ rounds $ quiescent)
+      Term.(
+        const run $ ds $ scheme $ threads $ ops $ rounds $ quiescent
+        $ node_bytes $ budget_bytes)
   in
   exit (Cmd.eval cmd)

@@ -44,7 +44,9 @@ module Make (S : Smr.Smr_intf.SMR) = struct
     S.data node
 
   let mk t key l r =
-    S.alloc t.smr { key; left = l; right = r; size = 1 + size l + size r }
+    (* key + two child pointers + cached size + header: five words. *)
+    S.alloc ~bytes:40 t.smr
+      { key; left = l; right = r; size = 1 + size l + size r }
 
   (* Weight-balanced (BB[w]) rebalancing, Adams-style with delta = 4 and
      ratio = 2. [retired] accumulates every pre-existing node whose fields

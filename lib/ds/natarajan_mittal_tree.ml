@@ -49,9 +49,11 @@ module Make (S : Smr.Smr_intf.SMR) = struct
 
   let create ?buckets:_ cfg =
     let smr = S.create cfg in
-    let leaf k = S.alloc smr (Leaf k) in
+    (* Leaves are a bare key (two words with the tag); internals add two
+       edge words — distinct size classes in the slab arena. *)
+    let leaf k = S.alloc ~bytes:16 smr (Leaf k) in
     let s_node =
-      S.alloc smr
+      S.alloc ~bytes:32 smr
         (Internal
            {
              ikey = inf1;
@@ -189,14 +191,14 @@ module Make (S : Smr.Smr_intf.SMR) = struct
     if r.leaf_key = key then false
     else begin
       let parent_field = child r.par key in
-      let new_leaf = S.alloc t.smr (Leaf key) in
+      let new_leaf = S.alloc ~bytes:16 t.smr (Leaf key) in
       let old_leaf = r.leaf in
       let ikey = max key r.leaf_key in
       let l, rgt =
         if key < r.leaf_key then (new_leaf, old_leaf) else (old_leaf, new_leaf)
       in
       let internal =
-        S.alloc t.smr
+        S.alloc ~bytes:32 t.smr
           (Internal
              {
                ikey;

@@ -141,7 +141,9 @@ module Make (S : Smr.Smr_intf.SMR) = struct
                   A.make { tgt = below; marked = false });
           }
         in
-        let node = S.alloc t.smr pl in
+        (* Towers are variable-size: charge the key, height and one link
+           word per level instead of the flat per-node default. *)
+        let node = S.alloc ~bytes:(8 * (2 + height)) t.smr pl in
         (* Link level 0 first — the linearization point. *)
         if
           not

@@ -35,12 +35,14 @@ let op_counts_to_json (c : Smr_runtime.Sim_cell.op_counts) =
       ("cas_fail", Json.Int c.cas_fail);
       ("faas", Json.Int c.faas);
       ("swaps", Json.Int c.swaps);
+      ("allocs", Json.Int c.allocs);
       ("read_cost", Json.Int c.read_cost);
       ("write_cost", Json.Int c.write_cost);
       ("plain_write_cost", Json.Int c.plain_write_cost);
       ("cas_cost", Json.Int c.cas_cost);
       ("faa_cost", Json.Int c.faa_cost);
       ("swap_cost", Json.Int c.swap_cost);
+      ("alloc_cost", Json.Int c.alloc_cost);
     ]
 
 let op_counts_of_json j : Smr_runtime.Sim_cell.op_counts =
@@ -53,12 +55,58 @@ let op_counts_of_json j : Smr_runtime.Sim_cell.op_counts =
     cas_fail = i "cas_fail";
     faas = i "faas";
     swaps = i "swaps";
+    allocs = i "allocs";
     read_cost = i "read_cost";
     write_cost = i "write_cost";
     plain_write_cost = i "plain_write_cost";
     cas_cost = i "cas_cost";
     faa_cost = i "faa_cost";
     swap_cost = i "swap_cost";
+    alloc_cost = i "alloc_cost";
+  }
+
+let mem_stats_to_json (s : Mem.Mem_intf.stats) =
+  Json.Obj
+    [
+      ("bytes_resident", Json.Int s.bytes_resident);
+      ("bytes_hwm", Json.Int s.bytes_hwm);
+      ("slab_bytes", Json.Int s.slab_bytes);
+      ("slab_bytes_hwm", Json.Int s.slab_bytes_hwm);
+      ("slabs_live", Json.Int s.slabs_live);
+      ("reuse_hits", Json.Int s.reuse_hits);
+      ("fresh_allocs", Json.Int s.fresh_allocs);
+      ("pressure_events", Json.Int s.pressure_events);
+      ("oom_failures", Json.Int s.oom_failures);
+    ]
+
+let mem_stats_of_json j : Mem.Mem_intf.stats =
+  let i k = Json.to_int (Json.member_exn k j) in
+  {
+    bytes_resident = i "bytes_resident";
+    bytes_hwm = i "bytes_hwm";
+    slab_bytes = i "slab_bytes";
+    slab_bytes_hwm = i "slab_bytes_hwm";
+    slabs_live = i "slabs_live";
+    reuse_hits = i "reuse_hits";
+    fresh_allocs = i "fresh_allocs";
+    pressure_events = i "pressure_events";
+    oom_failures = i "oom_failures";
+  }
+
+let sample_to_json (s : Workload.sample) =
+  Json.Obj
+    [
+      ("at", Json.Int s.Workload.s_at);
+      ("resident", Json.Int s.Workload.s_resident);
+      ("unreclaimed", Json.Int s.Workload.s_unreclaimed);
+    ]
+
+let sample_of_json j : Workload.sample =
+  let i k = Json.to_int (Json.member_exn k j) in
+  {
+    Workload.s_at = i "at";
+    s_resident = i "resident";
+    s_unreclaimed = i "unreclaimed";
   }
 
 let result_to_json (r : Workload.result) : Json.t =
@@ -89,6 +137,7 @@ let result_to_json (r : Workload.result) : Json.t =
               Json.Obj
                 (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series)
             );
+            ("mem", mem_stats_to_json m.Smr.Metrics.mem);
           ] );
       ( "latency",
         Json.Obj
@@ -102,6 +151,7 @@ let result_to_json (r : Workload.result) : Json.t =
             ("max", Json.Int r.Workload.latency.Histogram.max);
           ] );
       ("op_costs", op_counts_to_json r.Workload.op_costs);
+      ("timeline", Json.List (List.map sample_to_json r.Workload.timeline));
     ]
 
 let result_of_json j : Workload.result =
@@ -133,12 +183,15 @@ let result_of_json j : Workload.result =
           List.map
             (fun (k, v) -> (k, to_int v))
             (to_obj (member_exn "series" metrics));
+        mem = mem_stats_of_json (member_exn "mem" metrics);
       };
     latency =
       Histogram.of_parts
         ~buckets:(List.map to_int (to_list (member_exn "buckets" latency)))
         ~sum:(i "sum" latency) ~max:(i "max" latency);
     op_costs = op_counts_of_json (member_exn "op_costs" j);
+    timeline =
+      List.map sample_of_json (to_list (member_exn "timeline" j));
   }
 
 (* -- the cache ------------------------------------------------------------ *)
@@ -202,6 +255,10 @@ let run_cell (c : Plan.cell) : outcome =
       let set = Registry.Sim.make_set c.Plan.structure scheme in
       match Workload.run set (Plan.spec_of_cell c) with
       | r -> Done r
+      (* A simulated OOM is an expected experimental outcome under a byte
+         budget (memory-pressure injection), not a harness bug: record it
+         as a failure row the sweep carries forward. *)
+      | exception Mem.Mem_intf.Out_of_memory msg -> Failed ("OOM: " ^ msg)
       | exception e -> Failed (Printexc.to_string e))
 
 let run_cell_exn c =

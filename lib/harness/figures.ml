@@ -211,6 +211,91 @@ let fig10a ?cache ?on_progress ppf ~scale =
     ~ylabel:"avg unreclaimed objects (sampled per op)"
     ~value:(fun r -> r.avg_unreclaimed)
 
+(* -- Footprint: resident bytes over simulated time ----------------------- *)
+
+(* The unreclaimed-memory-vs-time view the paper discusses around Fig. 10a,
+   rendered in allocator bytes: a write-heavy hash map with two permanently
+   stalled readers. Epoch's horizon cannot pass the stalled guards, so its
+   resident footprint grows for the whole run; robust schemes stay bounded.
+   The final verdict line is greppable by tools/check.sh and CI. *)
+let footprint ?cache ?on_progress ppf ~scale =
+  let plan = Plan.footprint ~scale () in
+  let summary = Executor.run ?cache ?on_progress plan in
+  let ok =
+    List.filter_map
+      (fun (r : Executor.row) ->
+        match r.Executor.outcome with
+        | Executor.Done res -> Some (r.Executor.cell.Plan.label, res)
+        | Executor.Failed msg ->
+            Fmt.epr "footprint: cell %s failed: %s@."
+              r.Executor.cell.Plan.label msg;
+            None)
+      summary.Executor.rows
+  in
+  let budget =
+    match summary.Executor.rows with
+    | r :: _ -> (Plan.spec_of_cell r.Executor.cell).Workload.budget
+    | [] -> 0
+  in
+  let ticks = 8 in
+  let grid = List.init ticks (fun i -> budget * (i + 1) / ticks) in
+  Fmt.pf ppf
+    "# Footprint — resident allocator bytes vs simulated time (hash map, 2 \
+     stalled readers)@.@.";
+  Fmt.pf ppf "%-10s" "time";
+  List.iter (fun (l, _) -> Fmt.pf ppf " %14s" l) ok;
+  Fmt.pf ppf "@.";
+  (* Last timeline sample at or before [t]; series sample on the same
+     clock, so columns are comparable row by row. *)
+  let sample_at t (res : Workload.result) =
+    List.fold_left
+      (fun acc (s : Workload.sample) ->
+        if s.Workload.s_at <= t then Some s else acc)
+      None res.Workload.timeline
+  in
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "%-10d" t;
+      List.iter
+        (fun (_, res) ->
+          match sample_at t res with
+          | Some s -> Fmt.pf ppf " %14d" s.Workload.s_resident
+          | None -> Fmt.pf ppf " %14s" "-")
+        ok;
+      Fmt.pf ppf "@.")
+    grid;
+  Fmt.pf ppf "@.## allocator counters (final)@.";
+  Fmt.pf ppf "%-14s %12s %12s %8s %10s %10s %8s %5s@." "series" "resident"
+    "hwm" "slabs" "reuse" "fresh" "press" "oom";
+  List.iter
+    (fun (l, (res : Workload.result)) ->
+      let m = res.Workload.metrics.Smr.Metrics.mem in
+      Fmt.pf ppf "%-14s %12d %12d %8d %10d %10d %8d %5d@." l
+        m.Mem.Mem_intf.bytes_resident m.Mem.Mem_intf.bytes_hwm
+        m.Mem.Mem_intf.slabs_live m.Mem.Mem_intf.reuse_hits
+        m.Mem.Mem_intf.fresh_allocs m.Mem.Mem_intf.pressure_events
+        m.Mem.Mem_intf.oom_failures)
+    ok;
+  let resident l =
+    Option.map
+      (fun (r : Workload.result) ->
+        r.Workload.metrics.Smr.Metrics.mem.Mem.Mem_intf.bytes_resident)
+      (List.assoc_opt l ok)
+  in
+  (match (resident "Epoch", resident "Hyaline-S") with
+  | Some e, Some h when h > 0 && e >= 2 * h ->
+      Fmt.pf ppf
+        "@.footprint verdict: robust contrast ok (stalled Epoch resident \
+         %dB >= 2x Hyaline-S %dB)@."
+        e h
+  | Some e, Some h ->
+      Fmt.pf ppf
+        "@.footprint verdict: WEAK contrast (stalled Epoch %dB vs Hyaline-S \
+         %dB)@."
+        e h
+  | _ -> Fmt.pf ppf "@.footprint verdict: incomplete (missing series)@.");
+  Fmt.pf ppf "@."
+
 (* -- Figure 10b: trimming with few slots --------------------------------- *)
 
 let fig10b ?cache ?on_progress ppf ~scale =

@@ -14,9 +14,11 @@ type cell = {
   mix : Workload.mix;
   budget : int option;
   prefill : int option;
+  key_range : int option;
   use_trim : bool;
   cfg : Smr.Smr_intf.config option;
   seed : int option;
+  sample_every : int;
 }
 
 type t = { name : string; cells : cell list }
@@ -64,9 +66,10 @@ let base_cfg ~max_threads =
   }
 
 let spec_of_cell (c : cell) : Workload.spec =
-  let preset_prefill, key_range, preset_budget, buckets, op_body =
+  let preset_prefill, preset_key_range, preset_budget, buckets, op_body =
     preset c.scale c.structure
   in
+  let key_range = Option.value c.key_range ~default:preset_key_range in
   (* The paper runs fixed wall-clock time, so total operations grow with
      the thread count; scale the simulated budget likewise — it also keeps
      every thread past SMR warm-up (several filled batches / scan periods)
@@ -94,14 +97,16 @@ let spec_of_cell (c : cell) : Workload.spec =
     cfg;
     use_trim = c.use_trim;
     buckets = (if buckets = 0 then 1024 else buckets);
+    sample_every = c.sample_every;
     op_body;
   }
 
 (* -- builders ------------------------------------------------------------- *)
 
 let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
-    ?(mix = Workload.write_heavy) ?budget ?prefill ?(use_trim = false) ?cfg
-    ?seed ~scheme ~structure ~threads () =
+    ?(mix = Workload.write_heavy) ?budget ?prefill ?key_range
+    ?(use_trim = false) ?cfg ?seed ?(sample_every = 0) ~scheme ~structure
+    ~threads () =
   {
     scheme;
     label = Option.value label ~default:scheme;
@@ -113,9 +118,11 @@ let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
     mix;
     budget;
     prefill;
+    key_range;
     use_trim;
     cfg;
     seed;
+    sample_every;
   }
 
 let grid ~name ?(arch = Registry.X86) ?(scale = Quick)
@@ -141,6 +148,45 @@ let grid ~name ?(arch = Registry.X86) ?(scale = Quick)
   in
   { name; cells }
 
+(* The Fig. 10a-style footprint sweep: a write-heavy hashmap with a couple
+   of permanently stalled readers, sampled on a fixed timeline. Non-robust
+   EBR cannot advance its epoch past a stalled reader, so its resident
+   bytes grow for the whole run; robust schemes (Hyaline-S, IBR, HE) stay
+   bounded. A no-stall Epoch series anchors the healthy baseline. Small
+   batches keep reclamation granularity fine enough to see the contrast. *)
+let footprint ?(scale = Quick) () =
+  let budget = match scale with Quick -> 400_000 | Full -> 1_600_000 in
+  let sample_every = budget / 40 in
+  let cfg =
+    {
+      (base_cfg ~max_threads:1) with
+      Smr.Smr_intf.slots = 8;
+      batch_size = 8;
+      era_freq = 16;
+      ack_threshold = 16;
+    }
+  in
+  (* A small, hot working set: pre-stall nodes churn out within the first
+     fraction of the run, so robust schemes visibly plateau while Epoch's
+     frozen horizon keeps leaking until the end. *)
+  let mk ?label ?(stalled = 2) scheme =
+    cell ?label ~scale ~stalled ~budget ~sample_every ~cfg ~seed:7
+      ~prefill:128 ~key_range:256 ~scheme ~structure:Registry.Hashmap
+      ~threads:8 ()
+  in
+  {
+    name = "footprint";
+    cells =
+      [
+        mk "Epoch";
+        mk ~label:"Epoch-nostall" ~stalled:0 "Epoch";
+        mk "IBR";
+        mk "HP";
+        mk "Hyaline";
+        mk "Hyaline-S";
+      ];
+  }
+
 (* -- identity ------------------------------------------------------------- *)
 
 (* The key renders the RESOLVED run inputs, not the sugar that produced
@@ -153,19 +199,23 @@ let cell_key (c : cell) : string =
   let cfg = s.Workload.cfg in
   let costs = !Smr_runtime.Sim_cell.costs in
   Printf.sprintf
-    "hyaline-cell v1|runtime=sim|scheme=%s|structure=%s|arch=%s|threads=%d|stalled=%d|read_pct=%d|key_range=%d|prefill=%d|budget=%d|seed=%d|use_trim=%b|buckets=%d|op_body=%d|cfg=%d,%d,%d,%d,%d,%b,%d|costs=%d,%d,%d,%d,%d"
+    "hyaline-cell v2|runtime=sim|scheme=%s|structure=%s|arch=%s|threads=%d|stalled=%d|read_pct=%d|key_range=%d|prefill=%d|budget=%d|seed=%d|use_trim=%b|buckets=%d|sample_every=%d|op_body=%d|cfg=%d,%d,%d,%d,%d,%b,%d|mem=%d,%s|costs=%d,%d,%d,%d,%d,%d"
     c.scheme
     (Registry.structure_name c.structure)
     (Registry.arch_name c.arch)
     s.Workload.threads s.Workload.stalled s.Workload.mix.Workload.read_pct
     s.Workload.key_range s.Workload.prefill s.Workload.budget s.Workload.seed
-    s.Workload.use_trim s.Workload.buckets s.Workload.op_body
-    cfg.Smr.Smr_intf.max_threads cfg.Smr.Smr_intf.slots
+    s.Workload.use_trim s.Workload.buckets s.Workload.sample_every
+    s.Workload.op_body cfg.Smr.Smr_intf.max_threads cfg.Smr.Smr_intf.slots
     cfg.Smr.Smr_intf.batch_size cfg.Smr.Smr_intf.era_freq
     cfg.Smr.Smr_intf.ack_threshold cfg.Smr.Smr_intf.adaptive
-    cfg.Smr.Smr_intf.hp_indices costs.Smr_runtime.Sim_cell.read
-    costs.Smr_runtime.Sim_cell.write costs.Smr_runtime.Sim_cell.cas
-    costs.Smr_runtime.Sim_cell.faa costs.Smr_runtime.Sim_cell.swap
+    cfg.Smr.Smr_intf.hp_indices cfg.Smr.Smr_intf.node_bytes
+    (match cfg.Smr.Smr_intf.budget_bytes with
+    | None -> "-"
+    | Some b -> string_of_int b)
+    costs.Smr_runtime.Sim_cell.read costs.Smr_runtime.Sim_cell.write
+    costs.Smr_runtime.Sim_cell.cas costs.Smr_runtime.Sim_cell.faa
+    costs.Smr_runtime.Sim_cell.swap costs.Smr_runtime.Sim_cell.alloc
 
 let cell_hash c = Digest.to_hex (Digest.string (cell_key c))
 

@@ -28,11 +28,14 @@ type cell = {
   mix : Workload.mix;
   budget : int option;  (** [None]: preset budget × max 1 (threads/4) *)
   prefill : int option;  (** [None]: preset prefill *)
+  key_range : int option;  (** [None]: preset key range *)
   use_trim : bool;  (** Fig. 10b guard-refresh mode *)
   cfg : Smr.Smr_intf.config option;
       (** [None]: {!base_cfg}. [max_threads] is overridden either way to
           fit [threads + stalled + 1]. *)
   seed : int option;  (** [None]: [42 + threads] (the historical default) *)
+  sample_every : int;
+      (** footprint timeline sampling period in cost units (0 = off) *)
 }
 
 type t = { name : string; cells : cell list }
@@ -59,16 +62,19 @@ val cell :
   ?mix:Workload.mix ->
   ?budget:int ->
   ?prefill:int ->
+  ?key_range:int ->
   ?use_trim:bool ->
   ?cfg:Smr.Smr_intf.config ->
   ?seed:int ->
+  ?sample_every:int ->
   scheme:string ->
   structure:Registry.structure ->
   threads:int ->
   unit ->
   cell
 (** Defaults: [arch = X86], [scale = Quick], [stalled = 0],
-    [mix = Workload.write_heavy], [use_trim = false], the rest [None]. *)
+    [mix = Workload.write_heavy], [use_trim = false], [sample_every = 0],
+    the rest [None]. *)
 
 val grid :
   name:string ->
@@ -84,6 +90,12 @@ val grid :
     Defaults: [schemes = Registry.scheme_names arch],
     [structures = Registry.paper_structures]. Pairs excluded by
     {!Registry.supported} are omitted. *)
+
+val footprint : ?scale:scale -> unit -> t
+(** Unreclaimed-memory-vs-time sweep (Fig. 10a flavour): a write-heavy
+    hashmap with 2 stalled readers across Epoch / IBR / HP / Hyaline /
+    Hyaline-S, plus a no-stall Epoch baseline, each cell sampling a
+    resident-bytes timeline every [budget/40] cost units. *)
 
 (* -- identity ----------------------------------------------------------- *)
 

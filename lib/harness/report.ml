@@ -12,7 +12,7 @@
     against the schema (see DESIGN.md §6) so CI can assert that the
     artifact stays well-formed and covers every registered scheme. *)
 
-let schema_version = 1
+let schema_version = 2
 
 type point = {
   scheme : string;
@@ -39,6 +39,7 @@ let op_costs_json (c : Smr_runtime.Sim_cell.op_counts) =
       ("cas", cls (c.cas_ok + c.cas_fail) c.cas_cost);
       ("faa", cls c.faas c.faa_cost);
       ("swap", cls c.swaps c.swap_cost);
+      ("alloc", cls c.allocs c.alloc_cost);
       ("total_cost", Json.Int (Smr_runtime.Sim_cell.total_cost c));
     ]
 
@@ -80,6 +81,20 @@ let point_json (p : point) =
           ] );
       ("op_costs", op_costs_json p.r.Workload.op_costs);
       ("latency", latency_json p.r.Workload.latency);
+      ( "mem",
+        Json.Obj
+          (let s = m.Smr.Metrics.mem in
+           [
+             ("bytes_resident", Json.Int s.Mem.Mem_intf.bytes_resident);
+             ("bytes_hwm", Json.Int s.bytes_hwm);
+             ("slab_bytes", Json.Int s.slab_bytes);
+             ("slab_bytes_hwm", Json.Int s.slab_bytes_hwm);
+             ("slabs_live", Json.Int s.slabs_live);
+             ("reuse_hits", Json.Int s.reuse_hits);
+             ("fresh_allocs", Json.Int s.fresh_allocs);
+             ("pressure_events", Json.Int s.pressure_events);
+             ("oom_failures", Json.Int s.oom_failures);
+           ]) );
       ( "series",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series) );
@@ -111,6 +126,7 @@ type parsed_point = {
   p_lifecycle : Smr.Metrics.stats;
   p_lifecycle_peak : int;
   p_total_cost : int;
+  p_mem : Mem.Mem_intf.stats;
   p_series : (string * int) list;
 }
 
@@ -138,7 +154,8 @@ let parse_point j =
       let c = member_exn cls costs in
       ignore (to_int (member_exn "count" c));
       ignore (to_int (member_exn "cost" c)))
-    [ "read"; "write"; "plain_write"; "cas"; "faa"; "swap" ];
+    [ "read"; "write"; "plain_write"; "cas"; "faa"; "swap"; "alloc" ];
+  let mem = member_exn "mem" j in
   {
     p_scheme = to_str (member_exn "scheme" j);
     p_structure = to_str (member_exn "structure" j);
@@ -156,6 +173,18 @@ let parse_point j =
       };
     p_lifecycle_peak = to_int (member_exn "peak_unreclaimed" life);
     p_total_cost = to_int (member_exn "total_cost" costs);
+    p_mem =
+      {
+        Mem.Mem_intf.bytes_resident = to_int (member_exn "bytes_resident" mem);
+        bytes_hwm = to_int (member_exn "bytes_hwm" mem);
+        slab_bytes = to_int (member_exn "slab_bytes" mem);
+        slab_bytes_hwm = to_int (member_exn "slab_bytes_hwm" mem);
+        slabs_live = to_int (member_exn "slabs_live" mem);
+        reuse_hits = to_int (member_exn "reuse_hits" mem);
+        fresh_allocs = to_int (member_exn "fresh_allocs" mem);
+        pressure_events = to_int (member_exn "pressure_events" mem);
+        oom_failures = to_int (member_exn "oom_failures" mem);
+      };
     p_series =
       List.map (fun (k, v) -> (k, to_int v)) (to_obj (member_exn "series" j));
   }

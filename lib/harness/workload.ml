@@ -36,6 +36,10 @@ type spec = {
       (** keep one guard per thread and [refresh] between operations
           (Hyaline trims; baselines leave+enter) — Fig. 10b *)
   buckets : int;  (** hash-map buckets; ignored by the other structures *)
+  sample_every : int;
+      (** record a footprint timeline sample every this many cost units of
+          the measured phase (0 = no timeline). Sampling reads only plain
+          (uncosted) counters, so it never perturbs the schedule. *)
   op_body : int;
       (** fixed per-operation cost charged for the work the cell-level
           model does not see — hashing, key comparisons, allocator work.
@@ -56,8 +60,13 @@ let default_spec =
     cfg = Smr.Smr_intf.default_config;
     use_trim = false;
     buckets = 4096;
+    sample_every = 0;
     op_body = 0;
   }
+
+(** One footprint timeline point: simulated time into the measured phase,
+    resident allocator bytes, and retired-but-unreclaimed nodes. *)
+type sample = { s_at : int; s_resident : int; s_unreclaimed : int }
 
 type result = {
   ops : int;
@@ -73,6 +82,9 @@ type result = {
   op_costs : Smr_runtime.Sim_cell.op_counts;
       (** atomic ops and their simulated cost charged during the measured
           phase, by operation class *)
+  timeline : sample list;
+      (** footprint samples in time order; empty unless [spec.sample_every]
+          is positive *)
 }
 
 let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
@@ -105,6 +117,8 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   let unreclaimed_sum = ref 0.0 in
   let unreclaimed_peak = ref 0 in
   let samples = ref 0 in
+  let timeline = ref [] in
+  let next_sample = ref spec.sample_every in
   let one_op rng g =
     if spec.op_body > 0 then Sched.step spec.op_body;
     let key = Random.State.int rng spec.key_range in
@@ -116,7 +130,23 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
     let u = Smr.Smr_intf.unreclaimed s in
     if u > !unreclaimed_peak then unreclaimed_peak := u;
     unreclaimed_sum := !unreclaimed_sum +. float_of_int u;
-    incr samples
+    incr samples;
+    if spec.sample_every > 0 then begin
+      let at = Sched.now sched - steps0 in
+      if at >= !next_sample then begin
+        let m = D.metrics set in
+        timeline :=
+          {
+            s_at = at;
+            s_resident = m.Smr.Metrics.mem.Mem.Mem_intf.bytes_resident;
+            s_unreclaimed = u;
+          }
+          :: !timeline;
+        while !next_sample <= at do
+          next_sample := !next_sample + spec.sample_every
+        done
+      end
+    end
   in
   let worker tid () =
     let rng = Random.State.make [| spec.seed; tid |] in
@@ -176,4 +206,5 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
       Smr_runtime.Sim_cell.diff_counts
         ~now:(Smr_runtime.Sim_cell.snapshot_counts ())
         ~past:counts0;
+    timeline = List.rev !timeline;
   }

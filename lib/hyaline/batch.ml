@@ -47,10 +47,15 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   let scheme = "Hyaline"
 
-  let make_node ~counters ~birth payload =
+  (* Per-node scheme overhead in modelled bytes: the slot-list link, the
+     batch back pointer and the birth era (three words), plus the node's
+     amortised share of the batch record (NRef + min_birth). *)
+  let node_overhead_bytes = 40
+
+  let make_node ?bytes ?relieve ?(scheme = scheme) ~counters ~birth payload =
     {
       payload;
-      state = Smr.Lifecycle.on_alloc counters;
+      state = Smr.Lifecycle.on_alloc ?bytes ?relieve ~scheme counters;
       birth;
       next = R.Atomic.make None;
       batch = None;

@@ -64,7 +64,7 @@ struct
   let create (cfg : Smr.Smr_intf.config) =
     {
       cfg;
-      counters = Smr.Lifecycle.make_counters ();
+      counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
       dir = Dir.create ~kmin:(next_pow2 cfg.slots) ~make_slot;
       era = R.Atomic.make 0;
       alloc_clock = Stdlib.Atomic.make 0;
@@ -78,19 +78,6 @@ struct
     }
 
   let current_slots t = Dir.k t.dir
-
-  let alloc t payload =
-    let birth =
-      if F.robust then begin
-        (* Fig. 5 init_node; the allocation counter is global rather than
-           per-thread — only the bump frequency matters (cf. Ebr). *)
-        let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
-        if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
-        R.Atomic.get t.era
-      end
-      else 0
-    in
-    B.make_node ~counters:t.counters ~birth payload
 
   let data (n : 'a node) =
     Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
@@ -278,6 +265,44 @@ struct
     if !skipped_any then
       B.adjust ~counters:t.counters (Some b.nodes.(0)) !empty
 
+  let seal_pending t p ~k =
+    let nodes = p.nodes in
+    Smr.Metrics.Counter.incr t.m_sealed;
+    Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
+    p.nodes <- [];
+    p.len <- 0;
+    retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
+
+  (* Budget relief (DESIGN.md §9): seal the calling thread's own pending
+     batch early, if it already holds the mandatory k+1 nodes — insertion
+     lets every inactive slot skip it and frees whatever is unreferenced.
+     Never pads with dummy nodes: that would recurse into the allocator
+     under the very pressure we are relieving. *)
+  let relieve_pressure t () =
+    let tid = R.self () in
+    let k = Dir.k t.dir in
+    let p = t.pending.(tid) in
+    if p.len > k then seal_pending t p ~k
+
+  let alloc ?bytes t payload =
+    let mem_bytes =
+      B.node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes:mem_bytes;
+    let birth =
+      if F.robust then begin
+        (* Fig. 5 init_node; the allocation counter is global rather than
+           per-thread — only the bump frequency matters (cf. Ebr). *)
+        let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+        if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+        R.Atomic.get t.era
+      end
+      else 0
+    in
+    B.make_node ~bytes:mem_bytes ~relieve:(relieve_pressure t)
+      ~scheme:F.scheme_name ~counters:t.counters ~birth payload
+
   let retire t g n =
     Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
       t.counters;
@@ -285,14 +310,7 @@ struct
     p.nodes <- n :: p.nodes;
     p.len <- p.len + 1;
     let k = Dir.k t.dir in
-    if p.len >= max t.cfg.batch_size (k + 1) then begin
-      let nodes = p.nodes in
-      Smr.Metrics.Counter.incr t.m_sealed;
-      Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
-      p.nodes <- [];
-      p.len <- 0;
-      retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
-    end
+    if p.len >= max t.cfg.batch_size (k + 1) then seal_pending t p ~k
 
   (* Finalize partial batches by padding with dummy nodes (§2.4: "they can
      be immediately finalized by allocating a finite number of dummy
@@ -316,12 +334,7 @@ struct
           p.nodes <- d :: p.nodes;
           p.len <- p.len + 1
         done;
-        let nodes = p.nodes in
-        Smr.Metrics.Counter.incr t.m_sealed;
-        Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
-        p.nodes <- [];
-        p.len <- 0;
-        retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
+        seal_pending t p ~k
       end
     done
 

@@ -46,7 +46,7 @@ struct
   let create (cfg : Smr.Smr_intf.config) =
     {
       cfg;
-      counters = Smr.Lifecycle.make_counters ();
+      counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
       slots =
         Array.init cfg.max_threads (fun _ ->
             { head = R.Atomic.make idle; access = R.Atomic.make 0 });
@@ -60,17 +60,6 @@ struct
     }
 
   let current_slots t = Array.length t.slots
-
-  let alloc t payload =
-    let birth =
-      if F.robust then begin
-        let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
-        if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
-        R.Atomic.get t.era
-      end
-      else 0
-    in
-    B.make_node ~counters:t.counters ~birth payload
 
   let data (n : 'a node) =
     Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
@@ -171,20 +160,46 @@ struct
 
   let effective_batch t = max t.cfg.batch_size (Array.length t.slots + 1)
 
+  let seal_pending t (p : 'a pending) =
+    let nodes = p.nodes in
+    Smr.Metrics.Counter.incr t.m_sealed;
+    Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
+    p.nodes <- [];
+    p.len <- 0;
+    retire_batch t
+      (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
+
+  (* Budget relief: seal this thread's own pending batch early, if it is
+     already long enough to be a valid batch (> k nodes). Never pads with
+     dummy allocations — that would spend the very bytes we lack. *)
+  let relieve_pressure t () =
+    let p = t.pending.(R.self ()) in
+    if p.len > Array.length t.slots then seal_pending t p
+
+  let alloc ?bytes t payload =
+    let mem_bytes =
+      B.node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes:mem_bytes;
+    let birth =
+      if F.robust then begin
+        let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+        if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then R.Atomic.incr t.era;
+        R.Atomic.get t.era
+      end
+      else 0
+    in
+    B.make_node ~bytes:mem_bytes ~relieve:(relieve_pressure t)
+      ~scheme:F.scheme_name ~counters:t.counters ~birth payload
+
   let retire t g n =
     Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
       t.counters;
     let p = t.pending.(g.tid) in
     p.nodes <- n :: p.nodes;
     p.len <- p.len + 1;
-    if p.len >= effective_batch t then begin
-      let nodes = p.nodes in
-      Smr.Metrics.Counter.incr t.m_sealed;
-      Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
-      p.nodes <- [];
-      p.len <- 0;
-      retire_batch t (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
-    end
+    if p.len >= effective_batch t then seal_pending t p
 
   let flush t =
     let needed = effective_batch t in
@@ -201,12 +216,7 @@ struct
           p.nodes <- d :: p.nodes;
           p.len <- p.len + 1
         done;
-        let nodes = p.nodes in
-        Smr.Metrics.Counter.incr t.m_sealed;
-        Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
-        p.nodes <- [];
-        p.len <- 0;
-        retire_batch t (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
+        seal_pending t p
       end
     done
 

@@ -1,0 +1,178 @@
+(** The size-class slab arena (DESIGN.md §9).
+
+    Allocation requests are rounded up to a power-of-two size class
+    (≥ 16 bytes); each class owns a list of {!Slab}s and a LIFO free list
+    of released slots. Frees push onto the free list, allocations pop from
+    it before carving fresh storage — so the arena genuinely {e reuses}
+    storage, LIFO-hot like real malloc, which is exactly the behaviour
+    that makes ABA reachable for the explorer.
+
+    A [Mutex] serialises all bookkeeping: under the simulator everything is
+    one domain so the lock is free and — crucially — arena work costs zero
+    simulated time except for the explicit allocation preemption point the
+    schemes charge via {!Smr_runtime.Runtime_intf.S.alloc_point}. Under the
+    native runtime the lock makes the arena a correct (if serial) malloc
+    stand-in.
+
+    Slabs are never returned: a drained slab stays resident, and the gap
+    between carved storage and live bytes is the {!Mem_intf.fragmentation}
+    ratio the reports surface.
+
+    The budget protocol is two-phase and lives in {!Smr.Lifecycle}: [alloc]
+    here merely {e refuses} with [`Budget] when the allocation would push
+    resident bytes past the configured ceiling (counting one pressure
+    event); the caller is expected to reclaim and retry, and to call
+    {!note_oom} before giving up. *)
+
+type slot = Slab.slot
+
+type klass = {
+  class_bytes : int;
+  mutable current : Slab.t;  (** the slab being carved *)
+  mutable retired_slabs : Slab.t list;  (** full slabs, kept resident *)
+  mutable free : slot list;  (** LIFO free list *)
+}
+
+type t = {
+  cfg : Mem_intf.config;
+  lock : Mutex.t;
+  mutable classes : klass list;  (** tiny; linear lookup by class size *)
+  mutable next_slab_id : int;
+  (* Stats cells: written under [lock], read lock-free by samplers. *)
+  resident : int Stdlib.Atomic.t;
+  resident_hwm : int Stdlib.Atomic.t;
+  slab_bytes : int Stdlib.Atomic.t;
+  slabs_live : int Stdlib.Atomic.t;
+  reuse_hits : int Stdlib.Atomic.t;
+  fresh_allocs : int Stdlib.Atomic.t;
+  pressure_events : int Stdlib.Atomic.t;
+  oom_failures : int Stdlib.Atomic.t;
+}
+
+let create ?(config = Mem_intf.default_config) () =
+  {
+    cfg = config;
+    lock = Mutex.create ();
+    classes = [];
+    next_slab_id = 0;
+    resident = Stdlib.Atomic.make 0;
+    resident_hwm = Stdlib.Atomic.make 0;
+    slab_bytes = Stdlib.Atomic.make 0;
+    slabs_live = Stdlib.Atomic.make 0;
+    reuse_hits = Stdlib.Atomic.make 0;
+    fresh_allocs = Stdlib.Atomic.make 0;
+    pressure_events = Stdlib.Atomic.make 0;
+    oom_failures = Stdlib.Atomic.make 0;
+  }
+
+let node_bytes t = t.cfg.Mem_intf.node_bytes
+let budget_bytes t = t.cfg.Mem_intf.budget_bytes
+
+(* Power-of-two size classes with a 16-byte floor (two words: every node
+   carries at least a payload and a link). *)
+let size_class bytes =
+  if bytes <= 0 then invalid_arg "Arena.size_class: bytes must be positive";
+  let rec go c = if c >= bytes then c else go (2 * c) in
+  go 16
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let new_slab t ~class_bytes =
+  let slab =
+    Slab.create ~id:t.next_slab_id ~class_bytes
+      ~capacity:t.cfg.Mem_intf.slab_slots
+  in
+  t.next_slab_id <- t.next_slab_id + 1;
+  Stdlib.Atomic.incr t.slabs_live;
+  ignore
+    (Stdlib.Atomic.fetch_and_add t.slab_bytes (Slab.storage_bytes slab));
+  slab
+
+let find_class t class_bytes =
+  match
+    List.find_opt (fun k -> k.class_bytes = class_bytes) t.classes
+  with
+  | Some k -> k
+  | None ->
+      let k =
+        {
+          class_bytes;
+          current = new_slab t ~class_bytes;
+          retired_slabs = [];
+          free = [];
+        }
+      in
+      t.classes <- k :: t.classes;
+      k
+
+let raise_hwm cell v =
+  let rec go () =
+    let p = Stdlib.Atomic.get cell in
+    if v > p && not (Stdlib.Atomic.compare_and_set cell p v) then go ()
+  in
+  go ()
+
+let bytes_resident t = Stdlib.Atomic.get t.resident
+
+let alloc t ~bytes : (slot, [ `Budget ]) result =
+  let class_bytes = size_class bytes in
+  locked t (fun () ->
+      let over_budget =
+        match t.cfg.Mem_intf.budget_bytes with
+        | Some b -> Stdlib.Atomic.get t.resident + class_bytes > b
+        | None -> false
+      in
+      if over_budget then begin
+        Stdlib.Atomic.incr t.pressure_events;
+        Error `Budget
+      end
+      else begin
+        let k = find_class t class_bytes in
+        let slot =
+          match k.free with
+          | s :: rest ->
+              k.free <- rest;
+              Slab.reissue s;
+              Stdlib.Atomic.incr t.reuse_hits;
+              s
+          | [] ->
+              if Slab.full k.current then begin
+                k.retired_slabs <- k.current :: k.retired_slabs;
+                k.current <- new_slab t ~class_bytes
+              end;
+              Stdlib.Atomic.incr t.fresh_allocs;
+              Slab.carve k.current
+        in
+        let r = Stdlib.Atomic.fetch_and_add t.resident class_bytes in
+        raise_hwm t.resident_hwm (r + class_bytes);
+        Ok slot
+      end)
+
+let free t (slot : slot) =
+  locked t (fun () ->
+      let class_bytes = Slab.slot_bytes slot in
+      let k = find_class t class_bytes in
+      Slab.release slot;
+      k.free <- slot :: k.free;
+      ignore (Stdlib.Atomic.fetch_and_add t.resident (-class_bytes)))
+
+let note_pressure t = Stdlib.Atomic.incr t.pressure_events
+let note_oom t = Stdlib.Atomic.incr t.oom_failures
+let slot_gen = Slab.slot_gen
+let slot_bytes = Slab.slot_bytes
+
+let stats t : Mem_intf.stats =
+  let sb = Stdlib.Atomic.get t.slab_bytes in
+  {
+    bytes_resident = Stdlib.Atomic.get t.resident;
+    bytes_hwm = Stdlib.Atomic.get t.resident_hwm;
+    slab_bytes = sb;
+    slab_bytes_hwm = sb;
+    slabs_live = Stdlib.Atomic.get t.slabs_live;
+    reuse_hits = Stdlib.Atomic.get t.reuse_hits;
+    fresh_allocs = Stdlib.Atomic.get t.fresh_allocs;
+    pressure_events = Stdlib.Atomic.get t.pressure_events;
+    oom_failures = Stdlib.Atomic.get t.oom_failures;
+  }

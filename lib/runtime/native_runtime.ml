@@ -24,3 +24,4 @@ let tid_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let set_self tid = Domain.DLS.get tid_key := tid
 let self () = !(Domain.DLS.get tid_key)
 let yield () = Domain.cpu_relax ()
+let alloc_point ~bytes:_ = ()

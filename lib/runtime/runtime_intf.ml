@@ -57,4 +57,10 @@ module type S = sig
   val yield : unit -> unit
   (** Politeness hint; a preemption point under the simulator, a
       [Domain.cpu_relax] natively. *)
+
+  val alloc_point : bytes:int -> unit
+  (** Marks (and, under the simulator, charges) a node allocation of
+      [bytes] modelled bytes — a costed preemption point, so the window
+      between freeing a slot and reusing it is explorable. A no-op
+      natively. *)
 end

@@ -17,6 +17,7 @@ type costs = {
   cas : int;
   faa : int;
   swap : int;
+  alloc : int;  (** per-allocation charge: size-class lookup + free-list pop *)
 }
 
 (* Calibrated to Schweizer, Besta & Hoefler's measurements (the paper's
@@ -25,7 +26,12 @@ type costs = {
    sequentially-consistent store every SMR publication write needs — the
    §3.3 comparison of EBR's writes-with-barriers against Hyaline's
    uncontended CAS hinges on these being comparable. *)
-let default_costs = { read = 1; write = 4; cas = 4; faa = 3; swap = 4 }
+(* [alloc] prices the arena fast path (size-class dispatch plus a
+   free-list pop or bump) at a handful of loads — cheap enough that it
+   never dominates, expensive enough that allocation is a real preemption
+   point in the interleaving space. *)
+let default_costs =
+  { read = 1; write = 4; cas = 4; faa = 3; swap = 4; alloc = 5 }
 
 (* Mutable so benchmarks can ablate the cost model; single-domain use only,
    like the scheduler itself. *)
@@ -44,12 +50,14 @@ type op_counts = {
   mutable cas_fail : int;
   mutable faas : int;
   mutable swaps : int;
+  mutable allocs : int;
   mutable read_cost : int;
   mutable write_cost : int;
   mutable plain_write_cost : int;
   mutable cas_cost : int;
   mutable faa_cost : int;
   mutable swap_cost : int;
+  mutable alloc_cost : int;
 }
 
 let zero_counts () =
@@ -61,12 +69,14 @@ let zero_counts () =
     cas_fail = 0;
     faas = 0;
     swaps = 0;
+    allocs = 0;
     read_cost = 0;
     write_cost = 0;
     plain_write_cost = 0;
     cas_cost = 0;
     faa_cost = 0;
     swap_cost = 0;
+    alloc_cost = 0;
   }
 
 let counts = zero_counts ()
@@ -79,12 +89,14 @@ let reset_counts () =
   counts.cas_fail <- 0;
   counts.faas <- 0;
   counts.swaps <- 0;
+  counts.allocs <- 0;
   counts.read_cost <- 0;
   counts.write_cost <- 0;
   counts.plain_write_cost <- 0;
   counts.cas_cost <- 0;
   counts.faa_cost <- 0;
-  counts.swap_cost <- 0
+  counts.swap_cost <- 0;
+  counts.alloc_cost <- 0
 
 (* Copy of the global counters, for before/after deltas around a measured
    phase (reading plain ints never perturbs the simulation). *)
@@ -101,17 +113,19 @@ let diff_counts ~(now : op_counts) ~(past : op_counts) =
     cas_fail = now.cas_fail - past.cas_fail;
     faas = now.faas - past.faas;
     swaps = now.swaps - past.swaps;
+    allocs = now.allocs - past.allocs;
     read_cost = now.read_cost - past.read_cost;
     write_cost = now.write_cost - past.write_cost;
     plain_write_cost = now.plain_write_cost - past.plain_write_cost;
     cas_cost = now.cas_cost - past.cas_cost;
     faa_cost = now.faa_cost - past.faa_cost;
     swap_cost = now.swap_cost - past.swap_cost;
+    alloc_cost = now.alloc_cost - past.alloc_cost;
   }
 
 let total_cost c =
   c.read_cost + c.write_cost + c.plain_write_cost + c.cas_cost + c.faa_cost
-  + c.swap_cost
+  + c.swap_cost + c.alloc_cost
 
 type 'a t = { id : int; mutable v : 'a }
 
@@ -178,3 +192,13 @@ let fetch_and_add c d =
 
 let incr c = ignore (fetch_and_add c 1)
 let decr c = ignore (fetch_and_add c (-1))
+
+(* Allocation preemption point: charged like the cell operations above but
+   with no cell access — the arena's internal state is invisible to the
+   explorer's independence relation (its lock already serialises it), yet
+   the scheduler may preempt here, which is what makes free-then-reuse
+   races reachable. *)
+let charge_alloc ~bytes:_ =
+  Scheduler.step !costs.alloc;
+  counts.allocs <- counts.allocs + 1;
+  counts.alloc_cost <- counts.alloc_cost + !costs.alloc

@@ -7,3 +7,4 @@ module Atomic = Sim_cell
 
 let self () = Scheduler.self ()
 let yield () = Scheduler.step 1
+let alloc_point ~bytes = Sim_cell.charge_alloc ~bytes

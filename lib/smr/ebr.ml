@@ -35,10 +35,14 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   type 'a guard = { tid : int }
 
+  (* Per-node scheme overhead in modelled bytes: the retire-epoch tag and
+     the limbo-list link (two words). *)
+  let node_overhead_bytes = 16
+
   let create (cfg : Smr_intf.config) =
     {
       cfg;
-      counters = Lifecycle.make_counters ();
+      counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
       epoch = R.Atomic.make 0;
       reservations =
         Array.init cfg.max_threads (fun _ -> R.Atomic.make inactive);
@@ -48,8 +52,6 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
     }
-
-  let alloc t payload = { payload; state = Lifecycle.on_alloc t.counters }
 
   let data n =
     Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
@@ -87,6 +89,18 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     List.iter
       (fun (_, n) -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  (* Budget relief: one own-thread scan. Under a stalled reservation the
+     horizon is pinned and the scan frees nothing — EBR then genuinely runs
+     out of memory, the non-robustness the footprint figure shows. *)
+  let alloc ?bytes t payload =
+    let bytes =
+      node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes;
+    let relieve () = scan t (R.self ()) in
+    { payload; state = Lifecycle.on_alloc ~bytes ~relieve ~scheme:scheme_name t.counters }
 
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;

@@ -28,10 +28,14 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   type 'a guard = { tid : int; mutable used : int  (* highest idx + 1 *) }
 
+  (* Per-node scheme overhead in modelled bytes: the limbo link plus the
+     hazard record the node may occupy (two words). *)
+  let node_overhead_bytes = 16
+
   let create (cfg : Smr_intf.config) =
     {
       cfg;
-      counters = Lifecycle.make_counters ();
+      counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
       hazards =
         Array.init cfg.max_threads (fun _ ->
             Array.init cfg.hp_indices (fun _ -> R.Atomic.make None));
@@ -40,8 +44,6 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
     }
-
-  let alloc t payload = { payload; state = Lifecycle.on_alloc t.counters }
 
   let data n =
     Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
@@ -95,6 +97,17 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     List.iter
       (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  (* Budget relief: one own-thread scan — frees everything except the few
+     nodes pinned by published hazards, so HP degrades gracefully. *)
+  let alloc ?bytes t payload =
+    let bytes =
+      node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes;
+    let relieve () = scan t (R.self ()) in
+    { payload; state = Lifecycle.on_alloc ~bytes ~relieve ~scheme:scheme_name t.counters }
 
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;

@@ -41,10 +41,14 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   type 'a guard = { tid : int }
 
+  (* Per-node scheme overhead in modelled bytes: birth and retire eras plus
+     the limbo link and length tag (four words). *)
+  let node_overhead_bytes = 32
+
   let create (cfg : Smr_intf.config) =
     {
       cfg;
-      counters = Lifecycle.make_counters ();
+      counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
       era = R.Atomic.make 0;
       lower = Array.init cfg.max_threads (fun _ -> R.Atomic.make none);
       upper = Array.init cfg.max_threads (fun _ -> R.Atomic.make none);
@@ -55,19 +59,6 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
       m_era_advances = Metrics.Counter.make "era_advances";
-    }
-
-  let alloc t payload =
-    let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
-    if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then begin
-      R.Atomic.incr t.era;
-      Metrics.Counter.incr t.m_era_advances
-    end;
-    {
-      payload;
-      state = Lifecycle.on_alloc t.counters;
-      birth = R.Atomic.get t.era;
-      retire_era = none;
     }
 
   let data n =
@@ -121,6 +112,30 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     List.iter
       (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  (* Era clock as in HE; budget relief is one own-thread scan — frozen
+     reservation intervals pin only overlapping lifespans, so IBR sheds
+     pressure gracefully. *)
+  let alloc ?bytes t payload =
+    let mem_bytes =
+      node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes:mem_bytes;
+    let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+    if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then begin
+      R.Atomic.incr t.era;
+      Metrics.Counter.incr t.m_era_advances
+    end;
+    let relieve () = scan t (R.self ()) in
+    {
+      payload;
+      state =
+        Lifecycle.on_alloc ~bytes:mem_bytes ~relieve ~scheme:scheme_name
+          t.counters;
+      birth = R.Atomic.get t.era;
+      retire_era = none;
+    }
 
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;

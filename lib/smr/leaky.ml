@@ -9,13 +9,24 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   module R = R
 
   type 'a node = { payload : 'a; state : Lifecycle.cell }
-  type 'a t = { counters : Lifecycle.counters }
+  type 'a t = { cfg : Smr_intf.config; counters : Lifecycle.counters }
   type 'a guard = unit
 
-  let create (_ : Smr_intf.config) = { counters = Lifecycle.make_counters () }
+  (* Leaky nodes still carry a modelled link word. *)
+  let node_overhead_bytes = 8
 
-  let alloc t payload =
-    { payload; state = Lifecycle.on_alloc t.counters }
+  let create (cfg : Smr_intf.config) =
+    { cfg; counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) () }
+
+  (* No relief possible: Leaky never reclaims, so a configured byte budget
+     is simply a countdown to the simulated OOM. *)
+  let alloc ?bytes t payload =
+    let bytes =
+      node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes;
+    { payload; state = Lifecycle.on_alloc ~bytes ~scheme:scheme_name t.counters }
 
   let data n =
     Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;

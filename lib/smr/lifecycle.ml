@@ -1,33 +1,57 @@
 (** Node lifecycle auditor — the reproduction's stand-in for physical
-    [free(3)] (DESIGN.md §1). Shared by every scheme.
+    [free(3)] (DESIGN.md §1), now backed by a real allocator stand-in: every
+    instance owns a {!Mem.Arena}, allocations draw a slot from it and frees
+    drain the slot back, so freed storage is genuinely {e reused}
+    (DESIGN.md §9). A node remembers the slot generation it was born with;
+    when a freed node is touched the auditor can therefore distinguish a
+    plain use-after-free from the nastier ABA case where the slot has
+    already been handed to a new node.
 
-    All state lives in plain [Stdlib.Atomic] cells: correct under the
-    single-domain simulator and under native domains alike, and invisible to
-    the simulator's cost model, so auditing never distorts measurements.
+    All auditing state lives in plain [Stdlib.Atomic] cells: correct under
+    the single-domain simulator and under native domains alike, and
+    invisible to the simulator's cost model, so auditing never distorts
+    measurements (schemes charge allocation explicitly through
+    {!Smr_runtime.Runtime_intf.S.alloc_point}).
 
     Besides the running totals the auditor maintains the
     {e peak-unreclaimed} high-water mark — the largest value
     [retired - freed] ever reached — which is the paper's Fig. 9/10 memory
-    footprint observable in its worst-case form. *)
+    footprint observable in its worst-case form.
+
+    {b Pressure protocol} (DESIGN.md §9): when the arena refuses an
+    allocation because it would exceed the configured byte budget,
+    {!on_alloc} invokes the scheme's [relieve] callback — a bounded
+    reclamation attempt on the calling thread's own state — and retries
+    once. If the retry still fails, the simulated out-of-memory condition
+    {!Mem.Mem_intf.Out_of_memory} is raised; the harness executor records
+    it as a failure row instead of aborting the sweep. *)
 
 type state = Live | Retired | Freed
 
-type cell = state Stdlib.Atomic.t
+type cell = {
+  state : state Stdlib.Atomic.t;
+  slot : Mem.Arena.slot;  (** the storage this node models occupying *)
+  gen : int;  (** [slot]'s generation at this node's birth *)
+}
 
 type counters = {
   allocated : int Stdlib.Atomic.t;
   retired : int Stdlib.Atomic.t;
   freed : int Stdlib.Atomic.t;
   peak_unreclaimed : int Stdlib.Atomic.t;
+  arena : Mem.Arena.t;
 }
 
-let make_counters () =
+let make_counters ?(mem = Mem.Mem_intf.default_config) () =
   {
     allocated = Stdlib.Atomic.make 0;
     retired = Stdlib.Atomic.make 0;
     freed = Stdlib.Atomic.make 0;
     peak_unreclaimed = Stdlib.Atomic.make 0;
+    arena = Mem.Arena.create ~config:mem ();
   }
+
+let arena c = c.arena
 
 let stats c : Smr_intf.stats =
   {
@@ -57,18 +81,49 @@ let snapshot ~scheme ~series c : Metrics.snapshot =
     freed = Stdlib.Atomic.get c.freed;
     peak_unreclaimed = Stdlib.Atomic.get c.peak_unreclaimed;
     series;
+    mem = Mem.Arena.stats c.arena;
   }
 
-let on_alloc counters : cell =
+(* The two-phase budget protocol: refuse -> relieve -> retry -> OOM. *)
+let acquire_slot ?relieve ~scheme ~bytes counters =
+  match Mem.Arena.alloc counters.arena ~bytes with
+  | Ok slot -> slot
+  | Error `Budget -> (
+      (match relieve with Some f -> f () | None -> ());
+      match Mem.Arena.alloc counters.arena ~bytes with
+      | Ok slot -> slot
+      | Error `Budget ->
+          Mem.Arena.note_oom counters.arena;
+          raise
+            (Mem.Mem_intf.Out_of_memory
+               (Printf.sprintf
+                  "%s: %dB allocation exceeds the %dB budget (resident %dB \
+                   after reclamation relief)"
+                  scheme bytes
+                  (Option.value
+                     (Mem.Arena.budget_bytes counters.arena)
+                     ~default:0)
+                  (Mem.Arena.bytes_resident counters.arena))))
+
+(* [bytes] defaults to the arena's configured node size; [relieve] is the
+   scheme's bounded own-thread reclamation attempt, invoked only under
+   budget pressure. *)
+let on_alloc ?bytes ?relieve ~scheme counters : cell =
+  let bytes =
+    match bytes with
+    | Some b -> b
+    | None -> Mem.Arena.node_bytes counters.arena
+  in
+  let slot = acquire_slot ?relieve ~scheme ~bytes counters in
   Stdlib.Atomic.incr counters.allocated;
-  Stdlib.Atomic.make Live
+  { state = Stdlib.Atomic.make Live; slot; gen = Mem.Arena.slot_gen slot }
 
 (* [tally:false] defers the statistics bump (the Hyaline engines count a
    node as retired when its batch is sealed, matching the magnitudes the
    paper reports — see EXPERIMENTS.md) while still enforcing the
    retire-once lifecycle transition here. *)
 let on_retire ?(tally = true) ~scheme cell counters =
-  match Stdlib.Atomic.exchange cell Retired with
+  match Stdlib.Atomic.exchange cell.state Retired with
   | Live ->
       if tally then begin
         Stdlib.Atomic.incr counters.retired;
@@ -82,12 +137,22 @@ let tally_retired counters n =
   note_unreclaimed counters
 
 let on_free ~scheme cell counters =
-  match Stdlib.Atomic.exchange cell Freed with
-  | Retired -> Stdlib.Atomic.incr counters.freed
+  match Stdlib.Atomic.exchange cell.state Freed with
+  | Retired ->
+      Stdlib.Atomic.incr counters.freed;
+      (* Drain the slot back to the arena: the next allocation of this size
+         class may reissue it under a bumped generation. *)
+      Mem.Arena.free counters.arena cell.slot
   | Freed -> raise (Smr_intf.Double_free scheme)
   | Live -> invalid_arg (scheme ^ ": freeing a node that was never retired")
 
 let check_not_freed ~scheme ~what cell =
-  match Stdlib.Atomic.get cell with
+  match Stdlib.Atomic.get cell.state with
   | Live | Retired -> ()
-  | Freed -> raise (Smr_intf.Use_after_free (scheme ^ ": " ^ what))
+  | Freed ->
+      let msg =
+        if Mem.Arena.slot_gen cell.slot <> cell.gen then
+          scheme ^ ": " ^ what ^ " (use after free; slot since reused — ABA)"
+        else scheme ^ ": " ^ what
+      in
+      raise (Smr_intf.Use_after_free msg)

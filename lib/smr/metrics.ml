@@ -25,9 +25,19 @@ type snapshot = {
       (** High-water mark of [retired - freed] over the instance lifetime. *)
   series : (string * int) list;
       (** Scheme-specific named counters, fixed per scheme. *)
+  mem : Mem.Mem_intf.stats;
+      (** Byte-level allocator accounting from the scheme's arena
+          (DESIGN.md §9): resident bytes, slab high-water mark, reuse and
+          pressure counters. *)
 }
 
-let unreclaimed_of ~retired ~freed = retired - freed
+(* Saturating: [freed > retired] is an accounting bug (double-count), not a
+   sensible negative gauge — the assert turns it into a loud test failure
+   while the gauge itself stays non-negative for reports. *)
+let unreclaimed_of ~retired ~freed =
+  assert (freed <= retired);
+  max 0 (retired - freed)
+
 let unreclaimed s = unreclaimed_of ~retired:s.retired ~freed:s.freed
 
 let to_stats s : stats =
@@ -38,7 +48,8 @@ let series_value s name = List.assoc_opt name s.series
 let pp ppf s =
   Fmt.pf ppf "%s: allocated=%d retired=%d freed=%d unreclaimed=%d peak=%d"
     s.scheme s.allocated s.retired s.freed (unreclaimed s) s.peak_unreclaimed;
-  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) s.series
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) s.series;
+  Fmt.pf ppf " | mem: %a" Mem.Mem_intf.pp_stats s.mem
 
 let equal a b =
   String.equal a.scheme b.scheme
@@ -46,6 +57,7 @@ let equal a b =
   && a.retired = b.retired
   && a.freed = b.freed
   && a.peak_unreclaimed = b.peak_unreclaimed
+  && Mem.Mem_intf.equal_stats a.mem b.mem
   && List.length a.series = List.length b.series
   && List.for_all2
        (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && v1 = v2)

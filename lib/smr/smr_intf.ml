@@ -25,7 +25,7 @@ exception Double_free of string
     name. *)
 type stats = Metrics.stats = { allocated : int; retired : int; freed : int }
 
-let unreclaimed s = s.retired - s.freed
+let unreclaimed s = Metrics.unreclaimed_of ~retired:s.retired ~freed:s.freed
 
 let pp_stats ppf s =
   Fmt.pf ppf "allocated=%d retired=%d freed=%d unreclaimed=%d" s.allocated
@@ -41,6 +41,12 @@ type config = {
   ack_threshold : int;  (** Hyaline-S stalled-slot detection threshold *)
   adaptive : bool;  (** Hyaline-S adaptive slot resizing (§4.3) *)
   hp_indices : int;  (** hazard/era slots per thread (HP/HE) *)
+  node_bytes : int;
+      (** modelled payload bytes of a default node (structures with
+          variable-size nodes pass their own count per allocation) *)
+  budget_bytes : int option;
+      (** arena resident-bytes ceiling; exceeding it triggers the
+          backpressure protocol in {!Lifecycle.on_alloc} (DESIGN.md §9) *)
 }
 
 let default_config =
@@ -52,6 +58,16 @@ let default_config =
     ack_threshold = 8192;
     adaptive = false;
     hp_indices = 8;
+    node_bytes = 64;
+    budget_bytes = None;
+  }
+
+(** The arena configuration a scheme derives from its own config. *)
+let mem_config (cfg : config) : Mem.Mem_intf.config =
+  {
+    Mem.Mem_intf.default_config with
+    node_bytes = cfg.node_bytes;
+    budget_bytes = cfg.budget_bytes;
   }
 
 (** Signature implemented by every scheme: Leaky, EBR, HP, HE, IBR and the
@@ -76,9 +92,14 @@ module type SMR = sig
 
   val create : config -> 'a t
 
-  val alloc : 'a t -> 'a -> 'a node
+  val alloc : ?bytes:int -> 'a t -> 'a -> 'a node
   (** Allocate and initialise a node (records the birth era where the scheme
-      uses one). *)
+      uses one). The storage comes from the scheme's {!Mem.Arena}: [bytes]
+      is the modelled payload size (default [config.node_bytes]), to which
+      the scheme adds its own per-node overhead. Under a configured
+      [budget_bytes] an allocation that cannot be satisfied even after the
+      scheme's reclamation-relief attempt raises
+      {!Mem.Mem_intf.Out_of_memory}. *)
 
   val data : 'a node -> 'a
   (** Payload access; raises {!Use_after_free} on a freed node. *)

@@ -14,5 +14,6 @@ let () =
       ("schemes-unit", Test_schemes_unit.suite);
       ("linearize", Test_linearize.suite);
       ("metrics", Test_metrics.suite);
+      ("mem", Test_mem.suite);
       ("executor", Test_executor.suite);
     ]

@@ -208,6 +208,14 @@ let test_report_roundtrip () =
   Alcotest.(check bool)
     "series survive" true
     (p.Report.p_series = r.Workload.metrics.Metrics.series);
+  (* Allocator counters ride along in every point. *)
+  Alcotest.(check bool)
+    "mem stats survive" true
+    (p.Report.p_mem = r.Workload.metrics.Metrics.mem);
+  Alcotest.(check bool)
+    "allocations happened" true
+    (p.Report.p_mem.Mem.Mem_intf.fresh_allocs > 0
+    && p.Report.p_mem.Mem.Mem_intf.bytes_hwm > 0);
   (* Coverage checking must actually bite. *)
   (match Report.validate ~schemes:[ "Hyaline"; "Epoch" ] parsed with
   | Ok () -> Alcotest.fail "missing scheme not detected"

@@ -49,6 +49,16 @@ grep -q "(100% cached)" "$tmpdir/pass2.log" || {
 cmp "$tmpdir/out1/BENCH_resume.json" "$tmpdir/out2/BENCH_resume.json" || {
   echo "cache smoke: warm-cache report differs from cold-cache report"; exit 1; }
 
+# Footprint smoke: the stalled-reader resident-bytes sweep must reproduce
+# the paper's robustness contrast — non-robust Epoch's resident bytes at
+# least double robust Hyaline-S's. The driver prints a one-line verdict
+# precisely so CI can assert on it.
+echo "==> footprint smoke run"
+dune exec bin/figures.exe -- footprint --cache-dir "$tmpdir/cache" \
+  >"$tmpdir/footprint.log"
+grep -q "footprint verdict: robust contrast ok" "$tmpdir/footprint.log" || {
+  echo "footprint smoke: robustness contrast lost"; cat "$tmpdir/footprint.log"; exit 1; }
+
 # Budgeted adversarial verification: the full scheme x structure matrix
 # under sleep-set DFS, random walks and PCT, plus the stall-injection
 # robustness probes — fixed seeds, smoke budgets (the whole sweep is a

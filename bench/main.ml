@@ -248,13 +248,13 @@ let sensitivity ?cache ppf ~scale =
   Fmt.pf ppf "%-20s" "model";
   List.iter (fun n -> Fmt.pf ppf " %12s" n) schemes;
   Fmt.pf ppf "@.";
-  let saved = !Smr_runtime.Sim_cell.costs in
+  let saved = Smr_runtime.Sim_cell.current_costs () in
   Fun.protect
-    ~finally:(fun () -> Smr_runtime.Sim_cell.costs := saved)
+    ~finally:(fun () -> Smr_runtime.Sim_cell.set_costs saved)
     (fun () ->
       List.iter
         (fun (mname, model) ->
-          Smr_runtime.Sim_cell.costs := model;
+          Smr_runtime.Sim_cell.set_costs model;
           let rs =
             exec ?cache "sensitivity"
               (List.map (fun name -> hashmap_cell ~scale name 36) schemes)

@@ -1,0 +1,203 @@
+(** Self-benchmark: wall-clock throughput of the simulator itself.
+
+    Every figure this repo reproduces is bottlenecked on the deterministic
+    simulate-step pipeline (Scheduler -> Sim_cell -> Workload -> Executor),
+    so the harness measures its own hot path the same way it measures the
+    schemes' — and records the numbers in [BENCH_simperf.json] so the perf
+    trajectory across PRs is machine-readable.
+
+    Three pinned sections (fixed seeds, budgets and plans, so numbers are
+    comparable across commits on the same machine):
+
+    - [steps]: raw scheduler stepping — N threads yielding in a tight loop.
+      Isolates effect dispatch + run-loop cost per simulated step.
+    - [cells]: instrumented-cell mix — get/set/CAS/FAA over shared
+      {!Sim_cell}s. The realistic per-step cost including footprint
+      reporting and op-class accounting.
+    - [sweep]: a pinned 8-cell workload plan through {!Executor} (no
+      cache). End-to-end cells/sec and simulated-cost-units/sec.
+
+    Usage: [selfbench.exe [--smoke] [--out DIR] [--name NAME]]
+    [--smoke] divides the budgets by 10 for CI (the report says so). *)
+
+module Sched = Smr_runtime.Scheduler
+module Cell = Smr_runtime.Sim_cell
+module Json = Smr_harness.Json
+module Plan = Smr_harness.Plan
+module Executor = Smr_harness.Executor
+module Registry = Smr_harness.Registry
+module Workload = Smr_harness.Workload
+
+let now_s () = Unix.gettimeofday ()
+
+(* Sum of per-class operation counts: one instrumented-cell operation is
+   exactly one scheduler yield, so this is the section's yield count. *)
+let total_ops (c : Cell.op_counts) =
+  c.Cell.reads + c.writes + c.plain_writes + c.cas_ok + c.cas_fail + c.faas
+  + c.swaps + c.allocs
+
+(* -- section 1: raw stepping --------------------------------------------- *)
+
+let bench_steps ~budget =
+  let threads = 8 in
+  let sched = Sched.create ~seed:1 () in
+  for _ = 1 to threads do
+    ignore
+      (Sched.spawn sched (fun () ->
+           while true do
+             Sched.step 1
+           done))
+  done;
+  let t0 = now_s () in
+  (match Sched.run ~budget sched with
+  | Sched.Budget_exhausted -> ()
+  | _ -> failwith "selfbench: steps section did not exhaust its budget");
+  let wall = now_s () -. t0 in
+  let yields = Sched.now sched in
+  (threads, yields, wall)
+
+(* -- section 2: instrumented-cell mix ------------------------------------- *)
+
+let bench_cells ~budget =
+  let threads = 8 and ncells = 64 in
+  Cell.reset_ids ();
+  let cells = Array.init ncells (fun i -> Cell.make i) in
+  let sched = Sched.create ~seed:2 () in
+  for tid = 0 to threads - 1 do
+    ignore
+      (Sched.spawn sched (fun () ->
+           let i = ref 0 in
+           while true do
+             incr i;
+             let c = cells.(((tid * 7) + (!i * 3)) land (ncells - 1)) in
+             (match (tid + !i) land 3 with
+             | 0 -> ignore (Cell.get c)
+             | 1 -> Cell.set c !i
+             | 2 -> ignore (Cell.compare_and_set c (Cell.get c) !i)
+             | _ -> ignore (Cell.fetch_and_add c 1))
+           done))
+  done;
+  let before = Cell.snapshot_counts () in
+  let t0 = now_s () in
+  (match Sched.run ~budget sched with
+  | Sched.Budget_exhausted -> ()
+  | _ -> failwith "selfbench: cells section did not exhaust its budget");
+  let wall = now_s () -. t0 in
+  let ops = total_ops (Cell.diff_counts ~now:(Cell.snapshot_counts ()) ~past:before) in
+  (threads, ops, Sched.now sched, wall)
+
+(* -- section 3: pinned workload sweep ------------------------------------- *)
+
+(* The pinned plan: representative schemes on the hash map at two thread
+   counts, quick scale. Changing this plan breaks cross-commit
+   comparability — bump the report name instead if it must evolve. *)
+let sweep_plan () =
+  let cells =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun threads ->
+            Plan.cell ~scale:Plan.Quick ~mix:Workload.write_heavy ~scheme
+              ~structure:Registry.Hashmap ~threads ())
+          [ 4; 8 ])
+      [ "Epoch"; "HP"; "Hyaline"; "Hyaline-S" ]
+  in
+  { Plan.name = "selfbench-sweep"; cells }
+
+let bench_sweep () =
+  let plan = sweep_plan () in
+  let t0 = now_s () in
+  let summary = Executor.run plan in
+  let wall = now_s () -. t0 in
+  let cost_units =
+    List.fold_left
+      (fun acc (r : Executor.row) ->
+        match r.Executor.outcome with
+        | Executor.Done res -> acc + res.Workload.steps
+        | Executor.Failed msg ->
+            failwith ("selfbench: sweep cell failed: " ^ msg))
+      0 summary.Executor.rows
+  in
+  (List.length plan.Plan.cells, cost_units, wall)
+
+(* -- report ---------------------------------------------------------------- *)
+
+let rate n wall = if wall <= 0.0 then 0.0 else float_of_int n /. wall
+
+let () =
+  let smoke = ref false and out = ref "." and name = ref "simperf" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: dir :: rest ->
+        out := dir;
+        parse rest
+    | "--name" :: n :: rest ->
+        name := n;
+        parse rest
+    | arg :: _ -> failwith ("selfbench: unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scale = if !smoke then 10 else 1 in
+  let steps_budget = 2_000_000 / scale in
+  let cells_budget = 2_000_000 / scale in
+  let s_threads, s_yields, s_wall = bench_steps ~budget:steps_budget in
+  let c_threads, c_ops, c_cost, c_wall = bench_cells ~budget:cells_budget in
+  let w_cells, w_cost, w_wall = bench_sweep () in
+  let steps_sec = rate s_yields s_wall in
+  let ops_sec = rate c_ops c_wall in
+  Fmt.pr "selfbench steps: %d yields in %.3fs = %.3e steps/sec@." s_yields
+    s_wall steps_sec;
+  Fmt.pr "selfbench cells: %d ops in %.3fs = %.3e sim-steps/sec@." c_ops
+    c_wall ops_sec;
+  Fmt.pr
+    "selfbench sweep: %d cells (%d cost units) in %.3fs = %.3f cells/sec, \
+     %.3e cost-units/sec@."
+    w_cells w_cost w_wall (rate w_cells w_wall) (rate w_cost w_wall);
+  let section name fields = Json.Obj (("name", Json.String name) :: fields) in
+  let j =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("name", Json.String !name);
+        ("paper", Json.String "Hyaline (PODC 2019)");
+        ("smoke", Json.Bool !smoke);
+        ( "sections",
+          Json.List
+            [
+              section "steps"
+                [
+                  ("threads", Json.Int s_threads);
+                  ("budget", Json.Int steps_budget);
+                  ("yields", Json.Int s_yields);
+                  ("wall_s", Json.Float s_wall);
+                  ("steps_per_sec", Json.Float steps_sec);
+                ];
+              section "cells"
+                [
+                  ("threads", Json.Int c_threads);
+                  ("budget", Json.Int cells_budget);
+                  ("ops", Json.Int c_ops);
+                  ("cost_units", Json.Int c_cost);
+                  ("wall_s", Json.Float c_wall);
+                  ("sim_steps_per_sec", Json.Float ops_sec);
+                ];
+              section "sweep"
+                [
+                  ("cells", Json.Int w_cells);
+                  ("cost_units", Json.Int w_cost);
+                  ("wall_s", Json.Float w_wall);
+                  ("cells_per_sec", Json.Float (rate w_cells w_wall));
+                  ("cost_units_per_sec", Json.Float (rate w_cost w_wall));
+                ];
+            ] );
+      ]
+  in
+  let path = Filename.concat !out ("BENCH_" ^ !name ^ ".json") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string j));
+  Fmt.pr "wrote %s@." path

@@ -44,12 +44,34 @@ let progress_term =
         if p then Some (Executor.print_progress Fmt.stderr) else None)
     $ p)
 
+(* Enabling is a side effect of term evaluation, so every command gets the
+   flag by composing this term; the returned bool gates the final report. *)
+let profile_term =
+  let p =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Collect per-phase wall-clock timings (prefill, measured run, \
+             cache IO) and print them to stderr on exit. $(b,bench) also \
+             embeds a \"profile\" section in the JSON report.")
+  in
+  Term.(
+    const (fun p ->
+        Smr_harness.Profile.set_enabled p;
+        p)
+    $ p)
+
+let profile_report profile =
+  if profile then Fmt.epr "%a" Smr_harness.Profile.pp ()
+
 let fig_cmd name doc driver =
-  let run cache on_progress scale =
-    driver ?cache ?on_progress Fmt.stdout ~scale
+  let run profile cache on_progress scale =
+    driver ?cache ?on_progress Fmt.stdout ~scale;
+    profile_report profile
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ cache_term $ progress_term $ scale_term)
+    Term.(const run $ profile_term $ cache_term $ progress_term $ scale_term)
 
 let ds_conv =
   Arg.enum
@@ -101,7 +123,7 @@ let point_cmd =
              the scheme's reclamation relief; if that frees nothing the run \
              fails with a simulated OOM. Default: unlimited.")
   in
-  let run ds scheme threads stalled reads node_bytes budget_bytes scale =
+  let run ds scheme threads stalled reads node_bytes budget_bytes profile scale =
     let cfg =
       {
         (Plan.base_cfg ~max_threads:1) with
@@ -134,12 +156,13 @@ let point_cmd =
       c.read_cost c.write_cost c.plain_write_cost c.cas_cost c.faa_cost
       c.swap_cost c.alloc_cost
       (Smr_runtime.Sim_cell.total_cost c);
-    Fmt.pr "metrics: %a@." Smr.Metrics.pp r.metrics
+    Fmt.pr "metrics: %a@." Smr.Metrics.pp r.metrics;
+    profile_report profile
   in
   Cmd.v (Cmd.info "point" ~doc)
     Term.(
       const run $ ds $ scheme $ threads $ stalled $ reads $ node_bytes
-      $ budget_bytes $ scale_term)
+      $ budget_bytes $ profile_term $ scale_term)
 
 let bench_cmd =
   let doc =
@@ -167,13 +190,19 @@ let bench_cmd =
       value & opt (some string) None
       & info [ "o"; "output-dir" ] ~doc:"Directory for the report file.")
   in
-  let run name structures thread_counts dir cache on_progress scale =
+  let run name structures thread_counts dir profile cache on_progress scale =
     let report, stats =
       Smr_harness.Report.collect ?cache ?on_progress ~name
         ~arch:Registry.X86 ~scale ~structures ~thread_counts ()
     in
-    let path = Smr_harness.Report.write ?dir report in
+    let extra =
+      match Smr_harness.Profile.to_json () with
+      | Some j -> [ ("profile", j) ]
+      | None -> []
+    in
+    let path = Smr_harness.Report.write ?dir ~extra report in
     Fmt.pr "%a@." Executor.pp_stats stats;
+    profile_report profile;
     (* Self-check: re-read the artifact, parse it against the schema, and
        assert it covers the full registry — CI keys off this. *)
     let ic = open_in path in
@@ -191,8 +220,8 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
-      const run $ name_t $ structures $ thread_counts $ dir $ cache_term
-      $ progress_term $ scale_term)
+      const run $ name_t $ structures $ thread_counts $ dir $ profile_term
+      $ cache_term $ progress_term $ scale_term)
 
 let verify_cmd =
   let doc =

@@ -281,7 +281,8 @@ let run ?cache ?on_progress (plan : Plan.t) : summary =
         let hash = Plan.cell_hash cell in
         let cached =
           match cache with
-          | Some dir -> cache_lookup ~dir cell hash
+          | Some dir ->
+              Profile.time "cache.lookup" (fun () -> cache_lookup ~dir cell hash)
           | None -> None
         in
         let outcome, from_cache =
@@ -291,9 +292,14 @@ let run ?cache ?on_progress (plan : Plan.t) : summary =
               (Done r, true)
           | None -> (
               incr executed;
-              match run_cell cell with
+              match Profile.time "cell.simulate" (fun () -> run_cell cell) with
               | Done r as ok ->
-                  Option.iter (fun dir -> cache_store ~dir cell hash r) cache;
+                  Profile.add_steps "cell.simulate" r.Workload.steps;
+                  Option.iter
+                    (fun dir ->
+                      Profile.time "cache.store" (fun () ->
+                          cache_store ~dir cell hash r))
+                    cache;
                   (ok, false)
               | Failed _ as bad ->
                   incr failed;

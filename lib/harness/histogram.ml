@@ -24,7 +24,8 @@ let bucket_of v =
 
 let add h v =
   let v = max v 0 in
-  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  let b = bucket_of v in
+  Array.unsafe_set h.buckets b (Array.unsafe_get h.buckets b + 1);
   h.count <- h.count + 1;
   h.sum <- h.sum + v;
   if v > h.max then h.max <- v

@@ -38,11 +38,19 @@ let print_float b f =
     (* JSON has no NaN/inf; report them as null. *)
     Buffer.add_string b "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
-    Buffer.add_string b (Printf.sprintf "%.1f" f)
-  else Buffer.add_string b (Printf.sprintf "%.17g" f)
+    Printf.bprintf b "%.1f" f
+  else Printf.bprintf b "%.17g" f
+
+(* Indentation comes from one preallocated run of spaces: padding is an
+   [add_substring], not a fresh [String.make] per line, which on a
+   many-thousand-point report would dominate the serializer. *)
+let spaces = String.make 128 ' '
 
 let rec print ?(indent = 0) b v =
-  let pad n = Buffer.add_string b (String.make n ' ') in
+  let pad n =
+    if n <= 128 then Buffer.add_substring b spaces 0 n
+    else Buffer.add_string b (String.make n ' ')
+  in
   match v with
   | Null -> Buffer.add_string b "null"
   | Bool x -> Buffer.add_string b (if x then "true" else "false")

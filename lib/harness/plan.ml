@@ -197,7 +197,7 @@ let footprint ?(scale = Quick) () =
 let cell_key (c : cell) : string =
   let s = spec_of_cell c in
   let cfg = s.Workload.cfg in
-  let costs = !Smr_runtime.Sim_cell.costs in
+  let costs = Smr_runtime.Sim_cell.current_costs () in
   Printf.sprintf
     "hyaline-cell v2|runtime=sim|scheme=%s|structure=%s|arch=%s|threads=%d|stalled=%d|read_pct=%d|key_range=%d|prefill=%d|budget=%d|seed=%d|use_trim=%b|buckets=%d|sample_every=%d|op_body=%d|cfg=%d,%d,%d,%d,%d,%b,%d|mem=%d,%s|costs=%d,%d,%d,%d,%d,%d"
     c.scheme

@@ -100,15 +100,19 @@ let point_json (p : point) =
           (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series) );
     ]
 
-let to_json t =
+(* [extra] appends optional top-level sections (e.g. the [--profile]
+   timings); [parse] reads only the known fields, so extras never break
+   the schema check. *)
+let to_json ?(extra = []) t =
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("name", Json.String t.name);
-      ("paper", Json.String "Hyaline (PODC 2019)");
-      ("arch", Json.String (arch_name t.arch));
-      ("runs", Json.List (List.map point_json t.points));
-    ]
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("name", Json.String t.name);
+       ("paper", Json.String "Hyaline (PODC 2019)");
+       ("arch", Json.String (arch_name t.arch));
+       ("runs", Json.List (List.map point_json t.points));
+     ]
+    @ extra)
 
 (* -- parsing / validation ------------------------------------------------ *)
 
@@ -258,12 +262,12 @@ let collect ?cache ?on_progress ~name ~arch ~scale ~structures ~thread_counts
 
 let filename t = "BENCH_" ^ t.name ^ ".json"
 
-let write ?dir t =
+let write ?dir ?extra t =
   let path =
     match dir with Some d -> Filename.concat d (filename t) | None -> filename t
   in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Json.to_string (to_json t)));
+    (fun () -> output_string oc (Json.to_string (to_json ?extra t)));
   path

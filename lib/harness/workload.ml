@@ -106,15 +106,19 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
            if D.insert set (Random.State.int rng spec.key_range) then
              incr filled
          done));
-  (match Sched.run sched with
+  (match Profile.time "workload.prefill" (fun () -> Sched.run sched) with
   | Sched.All_finished -> ()
   | Sched.Budget_exhausted | Sched.Only_stalled ->
       invalid_arg "Workload.run: prefill did not finish");
   let steps0 = Sched.now sched in
+  Profile.add_steps "workload.prefill" steps0;
   let counts0 = Smr_runtime.Sim_cell.snapshot_counts () in
   let ops = Array.make spec.threads 0 in
   let latencies = Array.init spec.threads (fun _ -> Histogram.create ()) in
-  let unreclaimed_sum = ref 0.0 in
+  (* Plain int accumulator: a float ref would box one float per measured
+     operation. The sum of per-op unreclaimed counts cannot overflow on
+     63-bit ints for any realistic budget. *)
+  let unreclaimed_sum = ref 0 in
   let unreclaimed_peak = ref 0 in
   let samples = ref 0 in
   let timeline = ref [] in
@@ -129,7 +133,7 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
     let s = D.stats set in
     let u = Smr.Smr_intf.unreclaimed s in
     if u > !unreclaimed_peak then unreclaimed_peak := u;
-    unreclaimed_sum := !unreclaimed_sum +. float_of_int u;
+    unreclaimed_sum := !unreclaimed_sum + u;
     incr samples;
     if spec.sample_every > 0 then begin
       let at = Sched.now sched - steps0 in
@@ -182,10 +186,14 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
            ignore (D.contains_with set g 0);
            Sched.stall ()))
   done;
-  (match Sched.run ~budget:spec.budget sched with
+  (match
+     Profile.time "workload.measured" (fun () ->
+         Sched.run ~budget:spec.budget sched)
+   with
   | Sched.Budget_exhausted | Sched.Only_stalled -> ()
   | Sched.All_finished -> invalid_arg "Workload.run: workers terminated");
   let steps = Sched.now sched - steps0 in
+  Profile.add_steps "workload.measured" steps;
   let total_ops = Array.fold_left ( + ) 0 ops in
   let latency = Histogram.create () in
   Array.iter (Histogram.merge latency) latencies;
@@ -197,7 +205,7 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
        else 1000.0 *. float_of_int total_ops /. float_of_int steps);
     avg_unreclaimed =
       (if !samples = 0 then 0.0
-       else !unreclaimed_sum /. float_of_int !samples);
+       else float_of_int !unreclaimed_sum /. float_of_int !samples);
     peak_unreclaimed = !unreclaimed_peak;
     final = D.stats set;
     metrics = D.metrics set;

@@ -94,7 +94,7 @@ struct
   (* Fig. 4 leave: a wait-free swap detaching the whole list. *)
   let leave t g =
     let old = R.Atomic.exchange t.slots.(g.tid).head idle in
-    if old.hptr <> None then traverse t old.hptr g.handle
+    if Option.is_some old.hptr then traverse t old.hptr g.handle
 
   (* leave + enter fused, keeping the active bit set throughout. *)
   let trim t g =
@@ -102,7 +102,7 @@ struct
     let slot = t.slots.(g.tid) in
     let old = R.Atomic.exchange slot.head { active = true; hptr = None } in
     assert old.active;
-    if old.hptr <> None then traverse t old.hptr g.handle;
+    if Option.is_some old.hptr then traverse t old.hptr g.handle;
     g
 
   (* Fig. 5 deref; touch is an ordinary write (1:1 thread-to-slot). *)

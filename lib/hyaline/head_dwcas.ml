@@ -38,6 +38,6 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       }
     in
     if R.Atomic.compare_and_set head seen desired then
-      `Left (last && seen.hptr <> None)
+      `Left (last && Option.is_some seen.hptr)
     else `Fail
 end

@@ -67,7 +67,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       R.Atomic.compare_and_set head reserved
         { Head_intf.href = seen.href - 1; hptr = reserved.hptr }
     then
-      if seen.href = 1 && seen.hptr <> None then begin
+      if seen.href = 1 && Option.is_some seen.hptr then begin
         (* Strong dwCAS_Ptr from {0, Curr} to {0, Null}: both fields of the
            expectation matter — a concurrent enter (HRef <> 0) or a
            detach/claim cycle that replaced the list (HPtr <> Curr) means

@@ -54,12 +54,18 @@ let exec ?(faults = []) ~max_steps ~pick program =
            (fun f ->
              if f.victim < 0 || f.victim >= Scheduler.thread_count sched then ()
              else begin
-             if f.at_decision = next && Scheduler.state sched f.victim <> Scheduler.Done
+             if
+               f.at_decision = next
+               && (match Scheduler.state sched f.victim with
+                  | Scheduler.Done -> false
+                  | _ -> true)
              then begin
                match f.action with
                | `Stall ->
                    Scheduler.suspend sched f.victim;
-                   if f.resume_at = None then injected_stall := true
+                   (match f.resume_at with
+                   | None -> injected_stall := true
+                   | Some _ -> ())
                | `Kill -> Scheduler.kill sched f.victim
              end;
              match f.resume_at with
@@ -99,21 +105,20 @@ let exec ?(faults = []) ~max_steps ~pick program =
 (* ------------------------------------------------------------------ *)
 
 (* A scheduling alternative at a node: the thread occupying a runnable
-   slot, with the footprint of the operation it would perform. *)
-type edge = { e_tid : int; e_access : Scheduler.access option }
+   slot, with the footprint of the operation it would perform. The
+   footprint is unboxed ([e_cell] = -1 for unknown) so building the slot
+   array at every node allocates no option boxes. *)
+type edge = { e_tid : int; e_cell : int; e_write : bool }
 
 (* Two edges commute iff their footprints touch different cells or are
-   both reads. Unknown footprints ([None] — a thread not yet started, or
-   a yield that carried no access) conservatively conflict with
-   everything, so pruning degrades gracefully rather than unsoundly.
+   both reads. Unknown footprints ([e_cell] < 0 — a thread not yet
+   started, or a yield that carried no access) conservatively conflict
+   with everything, so pruning degrades gracefully rather than unsoundly.
    NB: independence is judged on instrumented-cell footprints only; see
    the .mli caveat about conflicts mediated by un-instrumented state. *)
 let independent a b =
-  match (a.e_access, b.e_access) with
-  | Some x, Some y ->
-      x.Scheduler.cell <> y.Scheduler.cell
-      || ((not x.Scheduler.write) && not y.Scheduler.write)
-  | _ -> false
+  a.e_cell >= 0 && b.e_cell >= 0
+  && (a.e_cell <> b.e_cell || ((not a.e_write) && not b.e_write))
 
 type frame = {
   mutable choice : int;  (* slot taken at this node on the current path *)
@@ -162,7 +167,11 @@ let dfs ~sleep_sets ~limit ~max_steps ~faults program =
             let slots =
               Array.init width (fun i ->
                   let tid = Scheduler.runnable_tid sched i in
-                  { e_tid = tid; e_access = Scheduler.next_access sched tid })
+                  {
+                    e_tid = tid;
+                    e_cell = Scheduler.next_cell sched tid;
+                    e_write = Scheduler.next_write sched tid;
+                  })
             in
             let sleep_entry = if sleep_sets then !cur_sleep else [] in
             let rec first_awake i =

@@ -1,26 +1,42 @@
 (* A shared-memory access footprint, reported by instrumented cells at
    each yield point. [cell] is the cell's per-run unique id; [write] is
    true for any mutating operation (stores, CAS, FAA, swap). The explorer
-   uses footprints to decide which scheduling choices commute. *)
+   uses footprints to decide which scheduling choices commute.
+
+   The record is the public-API shape only: internally footprints live in
+   two unboxed thread fields ([next_cell]/[next_write]) so the hot path
+   never allocates one. *)
 type access = { cell : int; write : bool }
 
-type _ Effect.t += Step : int * access option -> unit Effect.t
+(* Both effects are payload-free: the step's cost and footprint are
+   written into scheduler/thread fields before performing, so a yield
+   allocates nothing. *)
+type _ Effect.t += Yield : unit Effect.t
 type _ Effect.t += Stall : unit Effect.t
 
-type status =
-  | Not_started of (unit -> unit)
-  | Paused of (unit, unit) Effect.Deep.continuation
-  | Stalled_at of (unit, unit) Effect.Deep.continuation
-  | Finished
+(* Thread status as an int, not a variant: the run loop compares and
+   assigns statuses on every step, and int codes keep that branch-free of
+   pointer chasing and safe from polymorphic compare. The continuation
+   and start function live in separate mutable fields, valid only in the
+   statuses indicated. *)
+let st_not_started = 0 (* [fn] valid *)
+let st_paused = 1 (* [cont] valid *)
+let st_stalled = 2 (* [cont] valid *)
+let st_finished = 3
 
 type thread = {
   tid : int;
-  mutable status : status;
+  mutable st : int;
+  mutable fn : unit -> unit;  (* entry point; [dummy_fn] once started *)
+  mutable cont : (unit, unit) Effect.Deep.continuation;
+      (* continuation at the last yield; only read when [st] says so.
+         Initialised to an immediate dummy (never continued). *)
   mutable run_pos : int;  (* index in [runnable], or -1 *)
   mutable suspended : bool;  (* externally parked by fault injection *)
-  mutable next_access : access option;
-      (* footprint of the operation this thread performs when next
-         resumed; [None] for unknown (conservatively dependent) *)
+  mutable next_cell : int;
+      (* cell id of the operation this thread performs when next resumed;
+         -1 for unknown (conservatively dependent) *)
+  mutable next_write : bool;
 }
 
 type outcome = All_finished | Budget_exhausted | Only_stalled
@@ -49,6 +65,20 @@ type t = {
   mutable runnable_count : int;
   mutable clock : int;
   mutable current : int;  (* tid while resuming, -1 otherwise *)
+  mutable cur_th : thread;
+      (* the thread [current] names while one is running, else
+         [dummy_thread] — saves a bounds-checked array load on every
+         step and yield *)
+  mutable deadline : int;  (* absolute clock bound of the current run *)
+  mutable pending : int;
+      (* runnable slot already picked in-fiber by the fast path, or -1.
+         An int, not a thread pointer, so setting it skips the write
+         barrier. When >= 0 the run loop resumes that slot directly: the
+         picked thread is runnable by construction and the deadline was
+         already checked at the pick. *)
+  mutable hooked : bool;
+      (* [pick_fn <> None || on_decision <> None], cached so the step
+         fast path tests one flag *)
   mutable pick_fn : (int -> int) option;
       (* when set, [pick_fn width] chooses the runnable index instead of
          the RNG — the hook the exhaustive explorer drives *)
@@ -58,32 +88,33 @@ type t = {
          suspend, resume or kill threads and the decision that follows
          sees the updated runnable set *)
   mutable tracer : (event -> unit) option;
+  mutable handler : (unit, unit) Effect.Deep.handler;
+      (* the one deep handler shared by every fiber of this scheduler,
+         built once at [create] — resuming a thread allocates nothing *)
 }
 
 (* The scheduler running on this domain, if any. Scheduling is
    single-domain by construction, so a plain ref is safe. *)
 let active : t option ref = ref None
 
+let dummy_fn () = ()
+
+(* An immediate stored where a continuation is expected but never read:
+   every read of [cont] is guarded by [st], and the GC is indifferent to
+   immediates, so this avoids an option box around every continuation. *)
+let dummy_cont : (unit, unit) Effect.Deep.continuation = Obj.magic 0
+
 let dummy_thread =
-  { tid = -1; status = Finished; run_pos = -1; suspended = false;
-    next_access = None }
-
-let create ?(seed = 42) () =
   {
-    rng = Random.State.make [| seed |];
-    threads = [||];
-    count = 0;
-    live = 0;
-    runnable = [||];
-    runnable_count = 0;
-    clock = 0;
-    current = -1;
-    pick_fn = None;
-    on_decision = None;
-    tracer = None;
+    tid = -1;
+    st = st_finished;
+    fn = dummy_fn;
+    cont = dummy_cont;
+    run_pos = -1;
+    suspended = false;
+    next_cell = -1;
+    next_write = false;
   }
-
-let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
 let push_runnable t th =
   if t.runnable_count = Array.length t.runnable then begin
@@ -107,6 +138,76 @@ let drop_runnable t th =
   t.runnable_count <- last;
   th.run_pos <- -1
 
+(* The deep handler is built once per scheduler and reused for every
+   fiber: [effc] returns preallocated [Some] closures, so handling a
+   yield allocates nothing. The closures identify the yielding thread via
+   [t.current], which the run loop maintains. *)
+let make_handler (t : t) : (unit, unit) Effect.Deep.handler =
+  let retc () =
+    let th = t.cur_th in
+    th.st <- st_finished;
+    th.fn <- dummy_fn;
+    th.next_cell <- -1;
+    t.live <- t.live - 1;
+    if th.run_pos >= 0 then drop_runnable t th;
+    match t.tracer with
+    | None -> ()
+    | Some f -> f (Ev_finish { tid = th.tid; at = t.clock })
+  in
+  let on_yield (k : (unit, unit) Effect.Deep.continuation) =
+    let th = t.cur_th in
+    th.st <- st_paused;
+    th.cont <- k
+  in
+  let on_stall (k : (unit, unit) Effect.Deep.continuation) =
+    let th = t.cur_th in
+    th.st <- st_stalled;
+    th.cont <- k;
+    drop_runnable t th;
+    match t.tracer with
+    | None -> ()
+    | Some f -> f (Ev_stall { tid = th.tid; at = t.clock })
+  in
+  let some_yield = Some on_yield in
+  let some_stall = Some on_stall in
+  let effc : type a.
+      a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+    function
+    | Yield -> some_yield
+    | Stall -> some_stall
+    | _ -> None
+  in
+  { Effect.Deep.retc; exnc = raise; effc }
+
+let dummy_handler : (unit, unit) Effect.Deep.handler =
+  { retc = ignore; exnc = raise; effc = (fun _ -> None) }
+
+let create ?(seed = 42) () =
+  let t =
+    {
+      rng = Random.State.make [| seed |];
+      threads = [||];
+      count = 0;
+      live = 0;
+      runnable = [||];
+      runnable_count = 0;
+      clock = 0;
+      current = -1;
+      cur_th = dummy_thread;
+      deadline = max_int;
+      pending = -1;
+      hooked = false;
+      pick_fn = None;
+      on_decision = None;
+      tracer = None;
+      handler = dummy_handler;
+    }
+  in
+  t.handler <- make_handler t;
+  t
+
+let emit t ev = match t.tracer with None -> () | Some f -> f ev
+
 let spawn t f =
   let tid = t.count in
   if tid = Array.length t.threads then begin
@@ -116,8 +217,16 @@ let spawn t f =
     t.threads <- grown
   end;
   let th =
-    { tid; status = Not_started f; run_pos = -1; suspended = false;
-      next_access = None }
+    {
+      tid;
+      st = st_not_started;
+      fn = f;
+      cont = dummy_cont;
+      run_pos = -1;
+      suspended = false;
+      next_cell = -1;
+      next_write = false;
+    }
   in
   t.threads.(tid) <- th;
   t.count <- t.count + 1;
@@ -133,8 +242,49 @@ let self () =
 
 let inside () = match !active with Some t -> t.current >= 0 | None -> false
 
+(* The step hot path, called once per simulated shared-memory operation.
+   Charges the clock, records the footprint and decides the next
+   scheduling choice *in-fiber*: when neither the explorer's picker nor
+   the fault hook is installed, the run loop's checks are statically known
+   to pass (the caller is live and runnable), so the only reasons to
+   actually suspend are an exhausted budget or the RNG picking a
+   different thread. Picking the caller itself — the common case at low
+   thread counts and during sequential prefill — costs no effect
+   performance at all. The RNG is consulted exactly once per step in
+   either path, so the schedule is bit-identical to the pre-fast-path
+   scheduler. *)
+let[@inline] step_on t cost cell write =
+  let th = t.cur_th in
+  t.clock <- t.clock + cost;
+  th.next_cell <- cell;
+  th.next_write <- write;
+  (match t.tracer with
+  | None -> ()
+  | Some f -> f (Ev_step { tid = th.tid; cost; at = t.clock }));
+  if t.hooked then Effect.perform Yield
+  else if t.clock >= t.deadline then Effect.perform Yield
+  else begin
+    let i = Random.State.int t.rng t.runnable_count in
+    if Array.unsafe_get t.runnable i != th then begin
+      t.pending <- i;
+      Effect.perform Yield
+    end
+  end
+
+let step_at ~cell ~write cost =
+  match !active with
+  | None -> ()
+  | Some t -> if t.current >= 0 then step_on t cost cell write
+
 let step ?access cost =
-  if inside () then Effect.perform (Step (cost, access))
+  match !active with
+  | None -> ()
+  | Some t ->
+      if t.current >= 0 then begin
+        match access with
+        | None -> step_on t cost (-1) false
+        | Some a -> step_on t cost a.cell a.write
+      end
 
 let stall () =
   if inside () then Effect.perform Stall
@@ -143,12 +293,11 @@ let stall () =
 let unstall t tid =
   if tid < 0 || tid >= t.count then invalid_arg "Scheduler.unstall: bad tid";
   let th = t.threads.(tid) in
-  match th.status with
-  | Stalled_at k ->
-      th.status <- Paused k;
-      if not th.suspended then push_runnable t th;
-      emit t (Ev_unstall { tid; at = t.clock })
-  | Not_started _ | Paused _ | Finished -> ()
+  if th.st = st_stalled then begin
+    th.st <- st_paused;
+    if not th.suspended then push_runnable t th;
+    emit t (Ev_unstall { tid; at = t.clock })
+  end
 
 let check_tid t tid ~what =
   if tid < 0 || tid >= t.count then
@@ -161,7 +310,7 @@ let check_tid t tid ~what =
 let suspend t tid =
   check_tid t tid ~what:"suspend";
   let th = t.threads.(tid) in
-  if (not th.suspended) && th.status <> Finished then begin
+  if (not th.suspended) && th.st <> st_finished then begin
     th.suspended <- true;
     if th.run_pos >= 0 then drop_runnable t th;
     emit t (Ev_suspend { tid; at = t.clock })
@@ -172,9 +321,7 @@ let resume t tid =
   let th = t.threads.(tid) in
   if th.suspended then begin
     th.suspended <- false;
-    (match th.status with
-    | Not_started _ | Paused _ -> push_runnable t th
-    | Stalled_at _ | Finished -> ());
+    if th.st = st_not_started || th.st = st_paused then push_runnable t th;
     emit t (Ev_resume { tid; at = t.clock })
   end
 
@@ -185,9 +332,11 @@ let resume t tid =
 let kill t tid =
   check_tid t tid ~what:"kill";
   let th = t.threads.(tid) in
-  if th.status <> Finished then begin
+  if th.st <> st_finished then begin
     if th.run_pos >= 0 then drop_runnable t th;
-    th.status <- Finished;
+    th.st <- st_finished;
+    th.fn <- dummy_fn;
+    th.cont <- dummy_cont;
     th.suspended <- false;
     t.live <- t.live - 1;
     emit t (Ev_kill { tid; at = t.clock })
@@ -203,87 +352,91 @@ let runnable_tid t i =
     invalid_arg "Scheduler.runnable_tid: out of range";
   t.runnable.(i).tid
 
+let next_cell t tid =
+  check_tid t tid ~what:"next_cell";
+  t.threads.(tid).next_cell
+
+let next_write t tid =
+  check_tid t tid ~what:"next_write";
+  t.threads.(tid).next_write
+
 let next_access t tid =
   check_tid t tid ~what:"next_access";
-  t.threads.(tid).next_access
+  let th = t.threads.(tid) in
+  if th.next_cell < 0 then None
+  else Some { cell = th.next_cell; write = th.next_write }
 
 let state t tid =
   check_tid t tid ~what:"state";
   let th = t.threads.(tid) in
-  if th.status = Finished then Done
+  if th.st = st_finished then Done
   else if th.suspended then Suspended
-  else match th.status with Stalled_at _ -> Stalled | _ -> Runnable
+  else if th.st = st_stalled then Stalled
+  else Runnable
 
 (* Run one thread until its next yield point, completion, or stall. The
-   deep handler stays installed for the whole fiber, so resuming a paused
-   continuation re-enters it on the next effect. *)
-let resume_thread t th =
+   shared deep handler stays installed for the whole fiber, so resuming a
+   paused continuation re-enters it on the next effect. Completion is
+   detected by the handler's [retc], not here. *)
+let[@inline] dispatch t th =
   t.current <- th.tid;
-  let on_effect : type a.
-      a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
-    function
-    | Step (cost, access) ->
-        Some
-          (fun k ->
-            t.clock <- t.clock + cost;
-            th.status <- Paused k;
-            th.next_access <- access;
-            emit t (Ev_step { tid = th.tid; cost; at = t.clock }))
-    | Stall ->
-        Some
-          (fun k ->
-            th.status <- Stalled_at k;
-            drop_runnable t th;
-            emit t (Ev_stall { tid = th.tid; at = t.clock }))
-    | _ -> None
-  in
-  let handler =
-    { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc = on_effect }
-  in
-  (match th.status with
-  | Not_started f ->
-      th.status <- Finished;
-      (* provisional; overwritten if the fiber pauses or stalls *)
-      Effect.Deep.match_with f () handler
-  | Paused k ->
-      th.status <- Finished;
-      Effect.Deep.continue k ()
-  | Stalled_at _ | Finished -> assert false);
-  (match th.status with
-  | Finished ->
-      t.live <- t.live - 1;
-      th.next_access <- None;
-      if th.run_pos >= 0 then drop_runnable t th;
-      emit t (Ev_finish { tid = th.tid; at = t.clock })
-  | Not_started _ | Paused _ | Stalled_at _ -> ());
+  t.cur_th <- th;
+  if th.st = st_not_started then begin
+    let f = th.fn in
+    th.fn <- dummy_fn;
+    Effect.Deep.match_with f () t.handler
+  end
+  else Effect.Deep.continue th.cont ();
+  (* [cur_th] is left stale: every read is guarded by [current >= 0],
+     and skipping the reset saves a write barrier per dispatch. *)
   t.current <- -1
 
 let run ?(budget = max_int) t =
   let previous = !active in
   active := Some t;
-  let deadline = if budget = max_int then max_int else t.clock + budget in
+  t.deadline <- (if budget = max_int then max_int else t.clock + budget);
+  t.pending <- -1;
   let rec loop () =
-    (match t.on_decision with None -> () | Some f -> f ());
-    if t.live = 0 then All_finished
-    else if t.clock >= deadline then Budget_exhausted
-    else if t.runnable_count = 0 then Only_stalled
-    else begin
-      let index =
-        match t.pick_fn with
-        | Some f ->
-            let i = f t.runnable_count in
-            if i < 0 || i >= t.runnable_count then
-              invalid_arg "Scheduler: pick_fn out of range"
-            else i
-        | None -> Random.State.int t.rng t.runnable_count
-      in
-      let th = t.runnable.(index) in
-      resume_thread t th;
+    let pending = t.pending in
+    if pending >= 0 then begin
+      (* Fast-path handoff: the yielding fiber already drew the RNG,
+         checked the deadline and picked this slot; nothing has touched
+         the runnable set since. *)
+      t.pending <- -1;
+      dispatch t (Array.unsafe_get t.runnable pending);
       loop ()
+    end
+    else begin
+      (match t.on_decision with None -> () | Some f -> f ());
+      if t.live = 0 then All_finished
+      else if t.clock >= t.deadline then Budget_exhausted
+      else if t.runnable_count = 0 then Only_stalled
+      else begin
+        let index =
+          match t.pick_fn with
+          | Some f ->
+              let i = f t.runnable_count in
+              if i < 0 || i >= t.runnable_count then
+                invalid_arg "Scheduler: pick_fn out of range"
+              else i
+          | None -> Random.State.int t.rng t.runnable_count
+        in
+        dispatch t t.runnable.(index);
+        loop ()
+      end
     end
   in
   Fun.protect ~finally:(fun () -> active := previous) loop
 
-let set_picker t f = t.pick_fn <- f
-let set_on_decision t f = t.on_decision <- f
+let rehook t =
+  t.hooked <- (t.pick_fn != None || t.on_decision != None)
+
+let set_picker t f =
+  t.pick_fn <- f;
+  rehook t
+
+let set_on_decision t f =
+  t.on_decision <- f;
+  rehook t
+
 let set_tracer t f = t.tracer <- f

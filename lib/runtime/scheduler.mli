@@ -73,6 +73,12 @@ val step : ?access:access -> int -> unit
     no-op, so simulated structures remain usable from plain sequential
     code and unit tests. *)
 
+val step_at : cell:int -> write:bool -> int -> unit
+(** Allocation-free variant of {!step} for the per-operation hot path:
+    the footprint is passed as plain [cell]/[write] arguments instead of
+    an [access option] box. [cell = -1] means unknown footprint.
+    Semantically identical to [step ~access:{cell; write} cost]. *)
+
 val stall : unit -> unit
 (** Park the calling thread until {!unstall}. *)
 
@@ -123,6 +129,15 @@ val next_access : t -> int -> access option
     resumed, as reported by its last {!step}. [None] when unknown
     (not yet started, or the last yield carried no footprint) — callers
     must treat unknown as conflicting with everything. *)
+
+val next_cell : t -> int -> int
+(** Unboxed variant of {!next_access}: the cell id of thread [tid]'s next
+    operation, or -1 for unknown. Hot-path explorers use this to compare
+    footprints without allocating option boxes. *)
+
+val next_write : t -> int -> bool
+(** Whether thread [tid]'s next operation writes its cell. Only
+    meaningful when [next_cell t tid >= 0]. *)
 
 val set_picker : t -> (int -> int) option -> unit
 (** Override the random scheduling decision: [f width] must return an

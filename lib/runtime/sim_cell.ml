@@ -33,15 +33,53 @@ type costs = {
 let default_costs =
   { read = 1; write = 4; cas = 4; faa = 3; swap = 4; alloc = 5 }
 
-(* Mutable so benchmarks can ablate the cost model; single-domain use only,
-   like the scheduler itself. *)
-let costs = ref default_costs
+(* -- op classes ------------------------------------------------------------
 
-(* Operation counters (plain ints, zero simulated cost): the per-scheme
-   atomic-op mix behind Table 1, reported by [bench/main.exe breakdown].
-   Each class also accumulates the simulated cost it was charged, so a
-   run's total cost can be attributed load/store/CAS/FAA/swap — the
-   per-op-class breakdown the BENCH_*.json reports carry. *)
+   Operations are int-coded so the hot path indexes flat arrays (price,
+   count, accumulated cost) with compile-time-constant indices instead of
+   dereferencing a record behind a ref per operation. CAS success and
+   failure are distinct classes (the retry-rate statistic) that share one
+   price; [plain] is the pre-publication store, priced like a load. *)
+
+let n_classes = 8
+let k_read = 0
+let k_write = 1
+let k_plain = 2
+let k_cas_ok = 3
+let k_cas_fail = 4
+let k_faa = 5
+let k_swap = 6
+let k_alloc = 7
+
+(* Price per op class, rebuilt by [set_costs]. *)
+let price = Array.make n_classes 0
+
+(* Counts and accumulated simulated cost per class. Plain ints, zero
+   simulated cost: the per-scheme atomic-op mix behind Table 1. *)
+let op_n = Array.make n_classes 0
+let op_c = Array.make n_classes 0
+
+(* The active cost model. Mutable so benchmarks can ablate it;
+   single-domain use only, like the scheduler itself. *)
+let cost_model = ref default_costs
+
+let set_costs (c : costs) =
+  cost_model := c;
+  price.(k_read) <- c.read;
+  price.(k_write) <- c.write;
+  price.(k_plain) <- c.read;
+  price.(k_cas_ok) <- c.cas;
+  price.(k_cas_fail) <- c.cas;
+  price.(k_faa) <- c.faa;
+  price.(k_swap) <- c.swap;
+  price.(k_alloc) <- c.alloc
+
+let () = set_costs default_costs
+let current_costs () = !cost_model
+
+(* Aggregated view of the per-class counters — the shape the executor's
+   result cache serializes, kept as a record for JSON round-trip
+   stability. *)
 type op_counts = {
   mutable reads : int;
   mutable writes : int;
@@ -79,28 +117,30 @@ let zero_counts () =
     alloc_cost = 0;
   }
 
-let counts = zero_counts ()
-
 let reset_counts () =
-  counts.reads <- 0;
-  counts.writes <- 0;
-  counts.plain_writes <- 0;
-  counts.cas_ok <- 0;
-  counts.cas_fail <- 0;
-  counts.faas <- 0;
-  counts.swaps <- 0;
-  counts.allocs <- 0;
-  counts.read_cost <- 0;
-  counts.write_cost <- 0;
-  counts.plain_write_cost <- 0;
-  counts.cas_cost <- 0;
-  counts.faa_cost <- 0;
-  counts.swap_cost <- 0;
-  counts.alloc_cost <- 0
+  Array.fill op_n 0 n_classes 0;
+  Array.fill op_c 0 n_classes 0
 
-(* Copy of the global counters, for before/after deltas around a measured
-   phase (reading plain ints never perturbs the simulation). *)
-let snapshot_counts () = { counts with reads = counts.reads }
+(* Snapshot of the global counters, for before/after deltas around a
+   measured phase (reading plain ints never perturbs the simulation). *)
+let snapshot_counts () =
+  {
+    reads = op_n.(k_read);
+    writes = op_n.(k_write);
+    plain_writes = op_n.(k_plain);
+    cas_ok = op_n.(k_cas_ok);
+    cas_fail = op_n.(k_cas_fail);
+    faas = op_n.(k_faa);
+    swaps = op_n.(k_swap);
+    allocs = op_n.(k_alloc);
+    read_cost = op_c.(k_read);
+    write_cost = op_c.(k_write);
+    plain_write_cost = op_c.(k_plain);
+    cas_cost = op_c.(k_cas_ok) + op_c.(k_cas_fail);
+    faa_cost = op_c.(k_faa);
+    swap_cost = op_c.(k_swap);
+    alloc_cost = op_c.(k_alloc);
+  }
 
 (* [diff_counts ~now ~past] — the operations charged between two
    snapshots. *)
@@ -142,50 +182,53 @@ let make v =
   incr id_counter;
   { id = !id_counter; v }
 
+(* One charge: yield at the cell with the class's price, then bump the
+   class counters. The [k] arguments below are literal constants, so
+   every array access is a bounds-check-free constant-offset load. *)
+let[@inline] charge k cell write =
+  let cost = Array.unsafe_get price k in
+  Scheduler.step_at ~cell ~write cost;
+  Array.unsafe_set op_n k (Array.unsafe_get op_n k + 1);
+  Array.unsafe_set op_c k (Array.unsafe_get op_c k + cost)
+
 let get c =
-  Scheduler.step ~access:{ cell = c.id; write = false } !costs.read;
-  counts.reads <- counts.reads + 1;
-  counts.read_cost <- counts.read_cost + !costs.read;
+  charge k_read c.id false;
   c.v
 
 let set c v =
-  Scheduler.step ~access:{ cell = c.id; write = true } !costs.write;
-  counts.writes <- counts.writes + 1;
-  counts.write_cost <- counts.write_cost + !costs.write;
+  charge k_write c.id true;
   c.v <- v
 
 (* Pre-publication store: no ordering needed, plain-store price. *)
 let set_plain c v =
-  Scheduler.step ~access:{ cell = c.id; write = true } !costs.read;
-  counts.plain_writes <- counts.plain_writes + 1;
-  counts.plain_write_cost <- counts.plain_write_cost + !costs.read;
+  charge k_plain c.id true;
   c.v <- v
 
 let exchange c v =
-  Scheduler.step ~access:{ cell = c.id; write = true } !costs.swap;
-  counts.swaps <- counts.swaps + 1;
-  counts.swap_cost <- counts.swap_cost + !costs.swap;
+  charge k_swap c.id true;
   let old = c.v in
   c.v <- v;
   old
 
+(* Success is decided by the value visible *after* the yield — the CAS
+   takes effect at the resume point, like every other operation here. *)
 let compare_and_set c expected desired =
-  Scheduler.step ~access:{ cell = c.id; write = true } !costs.cas;
-  counts.cas_cost <- counts.cas_cost + !costs.cas;
+  let cost = Array.unsafe_get price k_cas_ok in
+  Scheduler.step_at ~cell:c.id ~write:true cost;
   if c.v == expected then begin
-    counts.cas_ok <- counts.cas_ok + 1;
+    Array.unsafe_set op_n k_cas_ok (Array.unsafe_get op_n k_cas_ok + 1);
+    Array.unsafe_set op_c k_cas_ok (Array.unsafe_get op_c k_cas_ok + cost);
     c.v <- desired;
     true
   end
   else begin
-    counts.cas_fail <- counts.cas_fail + 1;
+    Array.unsafe_set op_n k_cas_fail (Array.unsafe_get op_n k_cas_fail + 1);
+    Array.unsafe_set op_c k_cas_fail (Array.unsafe_get op_c k_cas_fail + cost);
     false
   end
 
 let fetch_and_add c d =
-  Scheduler.step ~access:{ cell = c.id; write = true } !costs.faa;
-  counts.faas <- counts.faas + 1;
-  counts.faa_cost <- counts.faa_cost + !costs.faa;
+  charge k_faa c.id true;
   let old = c.v in
   c.v <- old + d;
   old
@@ -198,7 +241,4 @@ let decr c = ignore (fetch_and_add c (-1))
    explorer's independence relation (its lock already serialises it), yet
    the scheduler may preempt here, which is what makes free-then-reuse
    races reachable. *)
-let charge_alloc ~bytes:_ =
-  Scheduler.step !costs.alloc;
-  counts.allocs <- counts.allocs + 1;
-  counts.alloc_cost <- counts.alloc_cost + !costs.alloc
+let charge_alloc ~bytes:_ = charge k_alloc (-1) false

@@ -43,12 +43,12 @@ let test_hash_stability () =
     (String.equal (Plan.cell_hash c) (Plan.cell_hash (tiny ~scheme:"HP" ())));
   (* The mutable cost model is a simulation input (the sensitivity sweep
      ablates it), so it must be part of the identity too. *)
-  let saved = !Cell.costs in
+  let saved = Cell.current_costs () in
   let default_hash = Plan.cell_hash c in
   Fun.protect
-    ~finally:(fun () -> Cell.costs := saved)
+    ~finally:(fun () -> Cell.set_costs saved)
     (fun () ->
-      Cell.costs := { saved with Cell.cas = saved.Cell.cas + 1 };
+      Cell.set_costs { saved with Cell.cas = saved.Cell.cas + 1 };
       Alcotest.(check bool)
         "cost model changes the hash" false
         (String.equal default_hash (Plan.cell_hash c)))
@@ -154,6 +154,44 @@ let test_failure_row () =
       | _ -> Alcotest.fail "run_cell_exn did not raise"
       | exception Failure _ -> ())
 
+(* -- golden hashes and results --------------------------------------------
+
+   Hard-coded [Plan.cell_hash] values for pinned cells, and the exact
+   (ops, steps) a pinned cell simulates to. The hashes guard the cache
+   key schema (a silent change would orphan every cached sweep result);
+   the ops/steps pair is an end-to-end schedule fingerprint through
+   Workload + the scheme + the structure. Captured before the simulator
+   hot-path overhaul; must never change. *)
+
+let test_golden_cell_hashes () =
+  let check name expect cell =
+    Alcotest.(check string) name expect (Plan.cell_hash cell)
+  in
+  check "epoch/list t=2" "5c03fa25788483af42016ceae1d4b47a" (tiny ());
+  check "hyaline/hashmap t=8" "5fec54064fd3c5266c1383b3eb4a582b"
+    (Plan.cell ~scheme:"Hyaline" ~structure:Registry.Hashmap ~threads:8 ());
+  check "hyaline-s/skiplist t=4 stalled=2" "544e3e0fa4f3763c4d0971fc5561d468"
+    (Plan.cell ~scheme:"Hyaline-S" ~structure:Registry.Skiplist ~threads:4
+       ~stalled:2 ~sample_every:500 ())
+
+let test_golden_workload_point () =
+  let run cell =
+    match Executor.run { Plan.name = "golden"; cells = [ cell ] } with
+    | { Executor.rows = [ { Executor.outcome = Executor.Done r; _ } ]; _ } ->
+        (r.Smr_harness.Workload.ops, r.Smr_harness.Workload.steps)
+    | _ -> Alcotest.fail "golden cell failed"
+  in
+  let fmt (ops, steps) = Printf.sprintf "ops=%d steps=%d" ops steps in
+  Alcotest.(check string)
+    "epoch/list pinned point" "ops=71 steps=2003"
+    (fmt (run (tiny ())));
+  Alcotest.(check string)
+    "hyaline/hashmap pinned point" "ops=456 steps=20001"
+    (fmt
+       (run
+          (Plan.cell ~scheme:"Hyaline" ~structure:Registry.Hashmap ~threads:4
+             ~budget:20_000 ())))
+
 let suite =
   [
     Alcotest.test_case "cell-hash-stability" `Quick test_hash_stability;
@@ -161,4 +199,7 @@ let suite =
     Alcotest.test_case "resume-executes-nothing" `Quick
       test_resume_executes_nothing;
     Alcotest.test_case "failure-row" `Quick test_failure_row;
+    Alcotest.test_case "golden-cell-hashes" `Quick test_golden_cell_hashes;
+    Alcotest.test_case "golden-workload-point" `Quick
+      test_golden_workload_point;
   ]

@@ -234,6 +234,52 @@ let test_replay_deterministic () =
   | Explore.Exhausted _ | Explore.Limit_reached _ ->
       Alcotest.fail "fuzzer missed the lost update"
 
+(* -- golden exploration schedules ----------------------------------------
+
+   Pin the exact execution orders the explorer visits for a fixed
+   (program, mode, seed): each thread logs its identity at every step
+   into a shared buffer, one "|" per program instantiation, and the MD5
+   of the whole buffer across the run is asserted. Covers the sleep-set
+   DFS (run count and traversal order), weighted random walks and PCT
+   (their RNG streams), so perf work on the scheduler or explorer cannot
+   silently change which schedules get explored. Captured before the
+   hot-path overhaul; must never change. *)
+
+let logging_program buf () =
+  Buffer.add_char buf '|';
+  let c = Cell.make 0 in
+  let worker tag () =
+    for i = 1 to 4 do
+      Buffer.add_char buf tag;
+      if i land 1 = 0 then ignore (Cell.get c) else Cell.set c i
+    done
+  in
+  ([ worker 'a'; worker 'b'; worker 'c' ], fun () -> true)
+
+let golden_explore name mode expect =
+  let buf = Buffer.create 4096 in
+  (match Explore.explore ~mode ~seed:5 ~limit:64 (logging_program buf) with
+  | Explore.Violation { message; _ } ->
+      Alcotest.fail (name ^ ": unexpected violation " ^ message)
+  | Explore.Exhausted _ | Explore.Limit_reached _ -> ());
+  Alcotest.(check string)
+    (name ^ ": golden schedule hash")
+    expect
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let test_golden_dfs () =
+  golden_explore "dfs" Explore.Dfs "b4d15cacf26d5ecffb37d65b2984f1e4"
+
+let test_golden_random_walks () =
+  golden_explore "random-walks"
+    (Explore.Random_walk { walks = 3 })
+    "07cc6d72f789b4047b69655dc465ccbd"
+
+let test_golden_pct () =
+  golden_explore "pct"
+    (Explore.Pct { walks = 3; change_points = 2 })
+    "a05dd934f82ac9af60a13d1f48c501dd"
+
 let suite =
   [
     Alcotest.test_case "finds-lost-update" `Quick test_finds_lost_update;
@@ -246,6 +292,9 @@ let suite =
     Alcotest.test_case "fault-kill" `Quick test_fault_kill;
     Alcotest.test_case "replay-deterministic" `Quick
       test_replay_deterministic;
+    Alcotest.test_case "golden-dfs" `Quick test_golden_dfs;
+    Alcotest.test_case "golden-random-walks" `Quick test_golden_random_walks;
+    Alcotest.test_case "golden-pct" `Quick test_golden_pct;
     Alcotest.test_case "hyaline-exhaustive" `Slow test_hyaline_exhaustive;
     Alcotest.test_case "hyaline-llsc-exhaustive" `Slow
       test_hyaline_llsc_exhaustive;

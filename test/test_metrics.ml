@@ -285,6 +285,46 @@ let test_histogram_edges () =
   Alcotest.(check int) "of_list percentile" (1 lsl 23)
     (Histogram.percentile h' 100)
 
+(* A ~10k-point report must serialize in linear time and round-trip
+   losslessly: the timeline sections of real BENCH reports reach this
+   size, and an accidental string-concat (quadratic) serializer would
+   turn report writing into the slowest phase of a sweep. *)
+let test_json_large_report () =
+  let point i =
+    Json.Obj
+      [
+        ("at", Json.Int (i * 500));
+        ("resident", Json.Int (i * 48));
+        ("unreclaimed", Json.Int (i mod 97));
+        ("rate", Json.Float (float_of_int i /. 3.0));
+        ("label", Json.String (Printf.sprintf "sample-%d" i));
+      ]
+  in
+  let points = List.init 10_000 point in
+  let report =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("name", Json.String "large");
+        ("timeline", Json.List points);
+      ]
+  in
+  let t0 = Sys.time () in
+  let text = Json.to_string report in
+  let elapsed = Sys.time () -. t0 in
+  (* Linear serialization of 10k points is milliseconds; a quadratic one
+     is tens of seconds. The generous bound keeps slow CI machines green
+     while still failing loudly on complexity regressions. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "10k points serialize fast (%.3fs)" elapsed)
+    true (elapsed < 5.0);
+  Alcotest.(check bool)
+    "large report is non-trivial" true
+    (String.length text > 100_000);
+  Alcotest.(check bool)
+    "large report round-trips losslessly" true
+    (Json.of_string text = report)
+
 let suite =
   [
     Alcotest.test_case "prefill guard" `Quick test_prefill_guard;
@@ -294,6 +334,7 @@ let suite =
     Alcotest.test_case "quiescent flush" `Quick test_quiescent_flush;
     Alcotest.test_case "scheduler tracer" `Quick test_tracer_events;
     Alcotest.test_case "report json round trip" `Quick test_report_roundtrip;
+    Alcotest.test_case "json large report" `Quick test_json_large_report;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
   ]

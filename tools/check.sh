@@ -68,4 +68,12 @@ grep -q "footprint verdict: robust contrast ok" "$tmpdir/footprint.log" || {
 echo "==> verify smoke run"
 dune exec bin/figures.exe -- verify --smoke --seed 0 --trace-dir "$tmpdir"
 
+# Selfbench smoke: run the pinned simulator self-benchmark at CI budget.
+# Wall-clock rates are machine-dependent, so this stage fails only on hard
+# errors (a section crashing or the report not appearing); the steps/sec
+# lines land in the CI log, where regressions are visible across runs.
+echo "==> selfbench smoke run"
+dune exec bench/selfbench.exe -- --smoke --out "$tmpdir" --name smoke
+test -s "$tmpdir/BENCH_smoke.json"
+
 echo "==> all checks passed"

@@ -120,6 +120,38 @@ let bench_sweep () =
   in
   (List.length plan.Plan.cells, cost_units, wall)
 
+(* -- section 4: live-slot scan cost --------------------------------------- *)
+
+(* The slot-registry payoff, pinned as a datapoint: an EBR flush scan
+   charges reads proportional to the number of REGISTERED slots, not to
+   [config.max_threads]. Before the lifecycle refactor the same flush at
+   2 live threads over a 144-capacity scheme paid the full 144-cell
+   sweep; now both configurations must charge the same simulated cost
+   (ratio 1.0). *)
+let bench_scan () =
+  let cost ~capacity =
+    let module S =
+      (val Option.get (Registry.Sim.scheme_of_name "Epoch") : Registry.SMR)
+    in
+    let cfg = { Smr.Smr_intf.default_config with max_threads = capacity } in
+    let t = S.create cfg in
+    for tid = 0 to 1 do
+      ignore (S.register ~tid t)
+    done;
+    let sched = Sched.create ~seed:4 () in
+    ignore
+      (Sched.spawn sched (fun () ->
+           let g = S.enter t in
+           S.retire t g (S.alloc t 0);
+           S.leave t g;
+           S.flush t));
+    (match Sched.run sched with
+    | Sched.All_finished -> ()
+    | _ -> failwith "selfbench: scan section did not finish");
+    Sched.now sched
+  in
+  (cost ~capacity:144, cost ~capacity:2)
+
 (* -- report ---------------------------------------------------------------- *)
 
 let rate n wall = if wall <= 0.0 then 0.0 else float_of_int n /. wall
@@ -146,6 +178,7 @@ let () =
   let s_threads, s_yields, s_wall = bench_steps ~budget:steps_budget in
   let c_threads, c_ops, c_cost, c_wall = bench_cells ~budget:cells_budget in
   let w_cells, w_cost, w_wall = bench_sweep () in
+  let scan_wide, scan_tight = bench_scan () in
   let steps_sec = rate s_yields s_wall in
   let ops_sec = rate c_ops c_wall in
   Fmt.pr "selfbench steps: %d yields in %.3fs = %.3e steps/sec@." s_yields
@@ -156,6 +189,11 @@ let () =
     "selfbench sweep: %d cells (%d cost units) in %.3fs = %.3f cells/sec, \
      %.3e cost-units/sec@."
     w_cells w_cost w_wall (rate w_cells w_wall) (rate w_cost w_wall);
+  Fmt.pr
+    "selfbench scan: EBR flush at 2 live slots costs %d (capacity 144) vs \
+     %d (capacity 2), ratio %.2f@."
+    scan_wide scan_tight
+    (float_of_int scan_wide /. float_of_int (max 1 scan_tight));
   let section name fields = Json.Obj (("name", Json.String name) :: fields) in
   let j =
     Json.Obj
@@ -191,6 +229,16 @@ let () =
                   ("wall_s", Json.Float w_wall);
                   ("cells_per_sec", Json.Float (rate w_cells w_wall));
                   ("cost_units_per_sec", Json.Float (rate w_cost w_wall));
+                ];
+              section "scan"
+                [
+                  ("live_slots", Json.Int 2);
+                  ("cost_at_capacity_144", Json.Int scan_wide);
+                  ("cost_at_capacity_2", Json.Int scan_tight);
+                  ( "ratio",
+                    Json.Float
+                      (float_of_int scan_wide
+                      /. float_of_int (max 1 scan_tight)) );
                 ];
             ] );
       ]

@@ -293,7 +293,10 @@ let verify_cmd =
       | Some s -> s
       | None -> fail ("unknown scheme " ^ scheme_name)
     in
-    let program = V.program_for scheme structure (shape_of_trace tr) in
+    let churn =
+      match T.meta_value tr "churn" with Some "true" -> true | _ -> false
+    in
+    let program = V.program_for ~churn scheme structure (shape_of_trace tr) in
     (match E.replay_outcome ~faults:tr.T.faults program tr.T.schedule with
     | Ok () ->
         Fmt.epr "trace did NOT reproduce: run succeeded@.";
@@ -342,8 +345,10 @@ let verify_cmd =
               | None -> Fmt.failwith "unknown scheme %s" sname
             in
             List.iter
-              (fun m ->
-                let cell = V.run_cell ~seed ~budgets ~shape scheme structure m in
+              (fun (m, churn) ->
+                let cell =
+                  V.run_cell ~seed ~budgets ~shape ~churn scheme structure m
+                in
                 incr cells;
                 match cell.V.c_verdict with
                 | V.Pass _ -> ()
@@ -351,10 +356,11 @@ let verify_cmd =
                 | V.Fail { schedule; shrunk; message } ->
                     incr failed;
                     let file =
-                      Printf.sprintf "%s/TRACE_%s_%s_%s.txt" trace_dir
+                      Printf.sprintf "%s/TRACE_%s_%s_%s%s.txt" trace_dir
                         (file_safe sname)
                         (V.structure_name structure)
                         (V.mode_name m)
+                        (if churn then "_churn" else "")
                     in
                     T.save ~path:file
                       {
@@ -363,6 +369,7 @@ let verify_cmd =
                             ("scheme", sname);
                             ("structure", V.structure_name structure);
                             ("mode", V.mode_name m);
+                            ("churn", string_of_bool churn);
                             ("seed", string_of_int seed);
                             ("threads", string_of_int shape.V.threads);
                             ("ops", string_of_int shape.V.ops);
@@ -374,13 +381,16 @@ let verify_cmd =
                         message;
                       };
                     Fmt.pr
-                      "FAIL %-12s %-8s %-6s: %s (schedule %d decisions, \
+                      "FAIL %-12s %-8s %-6s %-6s: %s (schedule %d decisions, \
                        shrunk to %d) -> %s@."
                       sname
                       (V.structure_name structure)
-                      (V.mode_name m) message (List.length schedule)
-                      (List.length shrunk) file)
-              modes)
+                      (V.mode_name m)
+                      (if churn then "churn" else "static")
+                      message (List.length schedule) (List.length shrunk) file)
+              (List.concat_map
+                 (fun m -> [ (m, false); (m, true) ])
+                 modes))
           (Plan.pairs (Plan.conformance ()));
         Fmt.pr "conformance: %d cells (%d skipped), %d violation(s)@." !cells
           !skipped !failed;
@@ -417,6 +427,10 @@ let () =
       fig_cmd "footprint"
         "Resident allocator bytes vs simulated time under stalled readers."
         footprint;
+      fig_cmd "churn"
+        "Thread churn: per-scheme join/leave cost, slot reuse and orphan \
+         accounting under thousands of short-lived session threads."
+        churn;
       fig_cmd "fig11" "Figures 11 & 12: x86-64 read-mostly." fig11_12;
       fig_cmd "fig13" "Figures 13 & 14: PowerPC write-heavy." fig13_14;
       fig_cmd "fig15" "Figures 15 & 16: PowerPC read-mostly." fig15_16;

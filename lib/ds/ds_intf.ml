@@ -17,6 +17,12 @@ module type CONC_SET = sig
   val create : ?buckets:int -> Smr.Smr_intf.config -> t
   (** [buckets] is honoured by the hash map and ignored elsewhere. *)
 
+  val register : ?tid:int -> t -> Smr.Smr_intf.slot
+  (** Join the underlying scheme (see {!Smr.Smr_intf.SMR.register}). *)
+
+  val deregister : t -> Smr.Smr_intf.slot -> unit
+  (** Leave the underlying scheme; must be outside any bracket. *)
+
   val enter : t -> guard
   val leave : t -> guard -> unit
   val refresh : t -> guard -> guard

@@ -109,10 +109,36 @@ let sample_of_json j : Workload.sample =
     s_unreclaimed = i "unreclaimed";
   }
 
+let churn_to_json (c : Workload.churn_stats) =
+  Json.Obj
+    [
+      ("joins", Json.Int c.Workload.c_joins);
+      ("leaves", Json.Int c.Workload.c_leaves);
+      ("session_ops", Json.Int c.Workload.c_session_ops);
+      ("reuses", Json.Int c.Workload.c_reuses);
+      ("avg_reuse_latency", Json.Float c.Workload.c_avg_reuse_latency);
+      ("orphaned", Json.Int c.Workload.c_orphaned);
+      ("adopted", Json.Int c.Workload.c_adopted);
+      ("orphan_backlog", Json.Int c.Workload.c_orphan_backlog);
+    ]
+
+let churn_of_json j : Workload.churn_stats =
+  let i k = Json.to_int (Json.member_exn k j) in
+  {
+    Workload.c_joins = i "joins";
+    c_leaves = i "leaves";
+    c_session_ops = i "session_ops";
+    c_reuses = i "reuses";
+    c_avg_reuse_latency = Json.to_float (Json.member_exn "avg_reuse_latency" j);
+    c_orphaned = i "orphaned";
+    c_adopted = i "adopted";
+    c_orphan_backlog = i "orphan_backlog";
+  }
+
 let result_to_json (r : Workload.result) : Json.t =
   let m = r.Workload.metrics in
   Json.Obj
-    [
+    ([
       ("ops", Json.Int r.Workload.ops);
       ("steps", Json.Int r.Workload.steps);
       ("throughput", Json.Float r.Workload.throughput);
@@ -153,6 +179,12 @@ let result_to_json (r : Workload.result) : Json.t =
       ("op_costs", op_counts_to_json r.Workload.op_costs);
       ("timeline", Json.List (List.map sample_to_json r.Workload.timeline));
     ]
+    (* Present only for churn runs: cached churn-free entries keep their
+       historical shape byte-for-byte. *)
+    @
+    match r.Workload.churn with
+    | None -> []
+    | Some c -> [ ("churn", churn_to_json c) ])
 
 let result_of_json j : Workload.result =
   let open Json in
@@ -192,6 +224,7 @@ let result_of_json j : Workload.result =
     op_costs = op_counts_of_json (member_exn "op_costs" j);
     timeline =
       List.map sample_of_json (to_list (member_exn "timeline" j));
+    churn = Option.map churn_of_json (member "churn" j);
   }
 
 (* -- the cache ------------------------------------------------------------ *)

@@ -296,6 +296,125 @@ let footprint ?cache ?on_progress ppf ~scale =
   | _ -> Fmt.pf ppf "@.footprint verdict: incomplete (missing series)@.");
   Fmt.pf ppf "@."
 
+(* -- Churn: thread join/leave cost and orphan accounting ----------------- *)
+
+(* Micro: charged cost of one register/deregister cycle, measured on a
+   single simulated fiber with no other work — the per-thread price of
+   joining the scheme. The registry bookkeeping itself is plain OCaml
+   (uncosted), so this isolates exactly the reservation-cell traffic each
+   scheme publishes: zero for the Hyaline engines (the paper's §2.4
+   transparency claim) and Leaky, hp_indices stores for HP/HE, a couple of
+   stores for EBR/IBR. *)
+let micro_churn_cost (module S : Registry.SMR) =
+  let module Sched = Smr_runtime.Scheduler in
+  let cfg = base_cfg ~max_threads:4 in
+  let iters = 500 in
+  let t = S.create cfg in
+  let sched = Sched.create () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         for _ = 1 to iters do
+           S.deregister t (S.register t)
+         done));
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | _ -> invalid_arg "micro_churn_cost: did not finish");
+  Sched.now sched // iters
+
+(* Macro: the churn sweep — each scheme runs a static hashmap cell and an
+   identical cell with >= 2000 session join/leave events, so the table
+   shows what churn does to end-to-end throughput next to the micro cost,
+   plus the slot-recycling and orphan-handoff accounting the lifecycle
+   layer maintains. The verdict line is greppable by tools/check.sh and
+   CI: it requires the transparent schemes' per-churn cost to be exactly
+   zero, every registration scheme's to be positive, enough churn events,
+   and zero orphaned retirees left unadopted at quiescence. *)
+let churn ?cache ?on_progress ppf ~scale =
+  let plan = Plan.churn_sweep ~scale () in
+  let summary = Executor.run ?cache ?on_progress plan in
+  let find label =
+    List.find_map
+      (fun (r : Executor.row) ->
+        if String.equal r.Executor.cell.Plan.label label then
+          match r.Executor.outcome with
+          | Executor.Done res -> Some res
+          | Executor.Failed msg ->
+              Fmt.epr "churn: cell %s failed: %s@." label msg;
+              None
+        else None)
+      summary.Executor.rows
+  in
+  let schemes = [ "Epoch"; "HP"; "HE"; "IBR"; "Hyaline-1"; "Hyaline" ] in
+  Fmt.pf ppf
+    "# Churn — session threads joining/leaving mid-run (hash map, 4 static \
+     threads)@.@.";
+  Fmt.pf ppf "%-10s %10s %12s %7s %7s %7s %9s %9s %8s %8s@." "scheme"
+    "cost/churn" "tput-ratio" "joins" "leaves" "reuses" "reuse-lat" "orphaned"
+    "adopted" "backlog";
+  let rows =
+    List.filter_map
+      (fun name ->
+        match (find name, find (name ^ "-static")) with
+        | Some churned, Some static ->
+            let micro =
+              match Registry.Sim.scheme_of_name name with
+              | Some m -> micro_churn_cost m
+              | None -> nan
+            in
+            Some (name, micro, churned, static)
+        | _ -> None)
+      schemes
+  in
+  let events = ref 0 in
+  let backlog = ref 0 in
+  List.iter
+    (fun (name, micro, (churned : Workload.result), static) ->
+      match churned.Workload.churn with
+      | None -> ()
+      | Some c ->
+          events := !events + c.Workload.c_joins + c.Workload.c_leaves;
+          backlog := !backlog + c.Workload.c_orphan_backlog;
+          Fmt.pf ppf "%-10s %10.2f %12.3f %7d %7d %7d %9.0f %9d %8d %8d@."
+            name micro
+            (churned.Workload.throughput /. static.Workload.throughput)
+            c.Workload.c_joins c.Workload.c_leaves c.Workload.c_reuses
+            c.Workload.c_avg_reuse_latency c.Workload.c_orphaned
+            c.Workload.c_adopted c.Workload.c_orphan_backlog)
+    rows;
+  let micro_of name =
+    List.find_map
+      (fun (n, m, _, _) -> if String.equal n name then Some m else None)
+      rows
+  in
+  let transparent_ok =
+    List.for_all
+      (fun n -> match micro_of n with Some m -> m = 0.0 | None -> false)
+      [ "Hyaline-1"; "Hyaline" ]
+  in
+  let registration_pays =
+    List.for_all
+      (fun n -> match micro_of n with Some m -> m > 0.0 | None -> false)
+      [ "Epoch"; "HP"; "HE"; "IBR" ]
+  in
+  (if List.length rows < 4 then
+     Fmt.pf ppf "@.churn verdict: incomplete (%d/6 schemes)@."
+       (List.length rows)
+   else if transparent_ok && registration_pays && !events >= 2000
+           && !backlog = 0 then
+     Fmt.pf ppf
+       "@.churn verdict: transparent ok (Hyaline register/deregister cost 0, \
+        Epoch %.2f HP %.2f per churn; %d churn events, 0 orphaned retirees \
+        leaked)@."
+       (Option.value ~default:nan (micro_of "Epoch"))
+       (Option.value ~default:nan (micro_of "HP"))
+       !events
+   else
+     Fmt.pf ppf
+       "@.churn verdict: FAIL (transparent_zero=%b registration_pays=%b \
+        events=%d orphan_backlog=%d)@."
+       transparent_ok registration_pays !events !backlog);
+  Fmt.pf ppf "@."
+
 (* -- Figure 10b: trimming with few slots --------------------------------- *)
 
 let fig10b ?cache ?on_progress ppf ~scale =

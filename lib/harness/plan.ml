@@ -19,6 +19,7 @@ type cell = {
   cfg : Smr.Smr_intf.config option;
   seed : int option;
   sample_every : int;
+  churn : Workload.churn option;
 }
 
 type t = { name : string; cells : cell list }
@@ -80,11 +81,15 @@ let spec_of_cell (c : cell) : Workload.spec =
     | None -> preset_budget * max 1 (c.threads / 4)
   in
   let prefill = Option.value c.prefill ~default:preset_prefill in
+  (* Churn lanes need their own slots on top of the static threads. *)
+  let lanes =
+    match c.churn with None -> 0 | Some ch -> max 1 ch.Workload.lanes
+  in
+  let max_threads = c.threads + c.stalled + 1 + lanes in
   let cfg =
     match c.cfg with
-    | Some cfg ->
-        { cfg with Smr.Smr_intf.max_threads = c.threads + c.stalled + 1 }
-    | None -> base_cfg ~max_threads:(c.threads + c.stalled + 1)
+    | Some cfg -> { cfg with Smr.Smr_intf.max_threads }
+    | None -> base_cfg ~max_threads
   in
   {
     Workload.threads = c.threads;
@@ -98,6 +103,7 @@ let spec_of_cell (c : cell) : Workload.spec =
     use_trim = c.use_trim;
     buckets = (if buckets = 0 then 1024 else buckets);
     sample_every = c.sample_every;
+    churn = c.churn;
     op_body;
   }
 
@@ -105,8 +111,8 @@ let spec_of_cell (c : cell) : Workload.spec =
 
 let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
     ?(mix = Workload.write_heavy) ?budget ?prefill ?key_range
-    ?(use_trim = false) ?cfg ?seed ?(sample_every = 0) ~scheme ~structure
-    ~threads () =
+    ?(use_trim = false) ?cfg ?seed ?(sample_every = 0) ?churn ~scheme
+    ~structure ~threads () =
   {
     scheme;
     label = Option.value label ~default:scheme;
@@ -123,6 +129,7 @@ let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
     cfg;
     seed;
     sample_every;
+    churn;
   }
 
 let grid ~name ?(arch = Registry.X86) ?(scale = Quick)
@@ -187,6 +194,37 @@ let footprint ?(scale = Quick) () =
       ];
   }
 
+(* The thread-churn sweep (ROADMAP items 1/5): a hashmap under a steady
+   stream of short-lived session threads that register, run a small burst
+   of operations, deregister and leave. Each cell runs >= 2000 join/leave
+   events; the paired static cell (same everything, no churn) is the
+   baseline the churn-overhead delta in {!Figures.churn} is taken
+   against. Hyaline-1's registration is a no-op (the paper's §2.4
+   transparency claim), so its delta collapses to the sessions' own
+   operations; EBR/HP/HE/IBR additionally pay their per-thread
+   registration stores and the scan traffic over a longer live-slot
+   list. *)
+let churn_sweep ?(scale = Quick) () =
+  let sessions = match scale with Quick -> 1200 | Full -> 4800 in
+  let ch = { Workload.sessions; session_ops = 4; lanes = 8 } in
+  let budget = match scale with Quick -> 600_000 | Full -> 2_400_000 in
+  let mk ?churn scheme =
+    cell
+      ?label:
+        (match churn with
+        | Some _ -> None
+        | None -> Some (scheme ^ "-static"))
+      ?churn ~scale ~budget ~seed:11 ~scheme ~structure:Registry.Hashmap
+      ~threads:4 ()
+  in
+  {
+    name = "churn";
+    cells =
+      List.concat_map
+        (fun scheme -> [ mk scheme; mk ~churn:ch scheme ])
+        [ "Epoch"; "HP"; "HE"; "IBR"; "Hyaline-1"; "Hyaline" ];
+  }
+
 (* -- identity ------------------------------------------------------------- *)
 
 (* The key renders the RESOLVED run inputs, not the sugar that produced
@@ -216,6 +254,14 @@ let cell_key (c : cell) : string =
     costs.Smr_runtime.Sim_cell.read costs.Smr_runtime.Sim_cell.write
     costs.Smr_runtime.Sim_cell.cas costs.Smr_runtime.Sim_cell.faa
     costs.Smr_runtime.Sim_cell.swap costs.Smr_runtime.Sim_cell.alloc
+  (* Appended only when churn is configured, so every pre-existing
+     churn-free cache key (and entry) stays byte-identical. *)
+  ^
+  match s.Workload.churn with
+  | None -> ""
+  | Some ch ->
+      Printf.sprintf "|churn=%d,%d,%d" ch.Workload.sessions
+        ch.Workload.session_ops ch.Workload.lanes
 
 let cell_hash c = Digest.to_hex (Digest.string (cell_key c))
 

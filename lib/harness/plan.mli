@@ -36,6 +36,9 @@ type cell = {
   seed : int option;  (** [None]: [42 + threads] (the historical default) *)
   sample_every : int;
       (** footprint timeline sampling period in cost units (0 = off) *)
+  churn : Workload.churn option;
+      (** session-thread churn model; [max_threads] grows by the lane
+          count so sessions always have slots to claim *)
 }
 
 type t = { name : string; cells : cell list }
@@ -67,6 +70,7 @@ val cell :
   ?cfg:Smr.Smr_intf.config ->
   ?seed:int ->
   ?sample_every:int ->
+  ?churn:Workload.churn ->
   scheme:string ->
   structure:Registry.structure ->
   threads:int ->
@@ -96,6 +100,14 @@ val footprint : ?scale:scale -> unit -> t
     hashmap with 2 stalled readers across Epoch / IBR / HP / Hyaline /
     Hyaline-S, plus a no-stall Epoch baseline, each cell sampling a
     resident-bytes timeline every [budget/40] cost units. *)
+
+val churn_sweep : ?scale:scale -> unit -> t
+(** Thread-churn sweep: for each of Epoch / HP / HE / IBR / Hyaline-1 /
+    Hyaline, a static hashmap cell and an identical cell with ≥ 1000
+    join/leave session cycles (≥ 2000 churn events). The static cell is
+    the baseline for the per-churn overhead delta in the churn figure;
+    Hyaline-1's delta excludes any registration cost — the §2.4
+    transparency claim, machine-checked by [figures.exe churn]. *)
 
 (* -- identity ----------------------------------------------------------- *)
 

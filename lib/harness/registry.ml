@@ -85,6 +85,8 @@ module Stack_set (Scheme : SMR) : CONC_SET = struct
   type guard = int Impl.guard
 
   let create ?buckets:_ cfg = Impl.create cfg
+  let register = Impl.register
+  let deregister = Impl.deregister
   let enter = Impl.enter
   let leave = Impl.leave
   let refresh = Impl.refresh
@@ -125,6 +127,8 @@ module Queue_set (Scheme : SMR) : CONC_SET = struct
   type guard = int Impl.guard
 
   let create ?buckets:_ cfg = Impl.create cfg
+  let register = Impl.register
+  let deregister = Impl.deregister
   let enter = Impl.enter
   let leave = Impl.leave
   let refresh = Impl.refresh

@@ -12,7 +12,7 @@
     against the schema (see DESIGN.md §6) so CI can assert that the
     artifact stays well-formed and covers every registered scheme. *)
 
-let schema_version = 2
+let schema_version = 3
 
 type point = {
   scheme : string;
@@ -62,7 +62,7 @@ let latency_json (h : Histogram.t) =
 let point_json (p : point) =
   let m = p.r.Workload.metrics in
   Json.Obj
-    [
+    ([
       ("scheme", Json.String p.scheme);
       ("structure", Json.String p.structure);
       ("threads", Json.Int p.threads);
@@ -98,7 +98,43 @@ let point_json (p : point) =
       ( "series",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series) );
+      (* Schema v3: thread-lifecycle accounting. [registration] comes from
+         the scheme's slot registry (zero-valued for runs predating a
+         scheme's first registration); [churn] appears only for runs with
+         a configured churn model. *)
+      ( "registration",
+        Json.Obj
+          (let v k =
+             Option.value ~default:0 (List.assoc_opt k m.Smr.Metrics.series)
+           in
+           [
+             ("registered", Json.Int (v "registered"));
+             ("deregistered", Json.Int (v "deregistered"));
+             ("slot_reuses", Json.Int (v "slot_reuses"));
+             ("peak_live_slots", Json.Int (v "peak_live_slots"));
+             ("orphaned", Json.Int (v "orphaned"));
+             ("adopted", Json.Int (v "adopted"));
+           ]) );
     ]
+    @
+    match p.r.Workload.churn with
+    | None -> []
+    | Some c ->
+        [
+          ( "churn",
+            Json.Obj
+              [
+                ("joins", Json.Int c.Workload.c_joins);
+                ("leaves", Json.Int c.Workload.c_leaves);
+                ("session_ops", Json.Int c.Workload.c_session_ops);
+                ("slot_reuses", Json.Int c.Workload.c_reuses);
+                ( "avg_reuse_latency",
+                  Json.Float c.Workload.c_avg_reuse_latency );
+                ("orphaned", Json.Int c.Workload.c_orphaned);
+                ("adopted", Json.Int c.Workload.c_adopted);
+                ("orphan_backlog", Json.Int c.Workload.c_orphan_backlog);
+              ] );
+        ])
 
 (* [extra] appends optional top-level sections (e.g. the [--profile]
    timings); [parse] reads only the known fields, so extras never break
@@ -132,6 +168,28 @@ type parsed_point = {
   p_total_cost : int;
   p_mem : Mem.Mem_intf.stats;
   p_series : (string * int) list;
+  p_registration : registration;
+  p_churn : churn option;
+}
+
+and registration = {
+  pr_registered : int;
+  pr_deregistered : int;
+  pr_slot_reuses : int;
+  pr_peak_live_slots : int;
+  pr_orphaned : int;
+  pr_adopted : int;
+}
+
+and churn = {
+  pc_joins : int;
+  pc_leaves : int;
+  pc_session_ops : int;
+  pc_slot_reuses : int;
+  pc_avg_reuse_latency : float;
+  pc_orphaned : int;
+  pc_adopted : int;
+  pc_orphan_backlog : int;
 }
 
 type parsed = {
@@ -191,6 +249,31 @@ let parse_point j =
       };
     p_series =
       List.map (fun (k, v) -> (k, to_int v)) (to_obj (member_exn "series" j));
+    p_registration =
+      (let r = member_exn "registration" j in
+       {
+         pr_registered = to_int (member_exn "registered" r);
+         pr_deregistered = to_int (member_exn "deregistered" r);
+         pr_slot_reuses = to_int (member_exn "slot_reuses" r);
+         pr_peak_live_slots = to_int (member_exn "peak_live_slots" r);
+         pr_orphaned = to_int (member_exn "orphaned" r);
+         pr_adopted = to_int (member_exn "adopted" r);
+       });
+    p_churn =
+      Option.map
+        (fun c ->
+          {
+            pc_joins = to_int (member_exn "joins" c);
+            pc_leaves = to_int (member_exn "leaves" c);
+            pc_session_ops = to_int (member_exn "session_ops" c);
+            pc_slot_reuses = to_int (member_exn "slot_reuses" c);
+            pc_avg_reuse_latency =
+              to_float (member_exn "avg_reuse_latency" c);
+            pc_orphaned = to_int (member_exn "orphaned" c);
+            pc_adopted = to_int (member_exn "adopted" c);
+            pc_orphan_backlog = to_int (member_exn "orphan_backlog" c);
+          })
+        (member "churn" j);
   }
 
 let parse j =

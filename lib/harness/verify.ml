@@ -82,9 +82,43 @@ let set_program (module D : CONC_SET) ~reclaiming (shape : shape) :
       D.flush set;
       (not reclaiming) || Smr.Smr_intf.unreclaimed (D.stats set) = 0 )
 
-let program_for (module S : SMR) structure shape : Explore.program =
+(* Churn-mode program: every thread runs two register/deregister
+   sessions with its operations in between, so exploration interleaves
+   joins, leaves, orphan handoffs and slot recycling with the structure
+   operations themselves. The post-condition additionally requires the
+   orphan list to be fully adopted: a departing thread's limbo must never
+   be stranded. *)
+let churn_program (module D : CONC_SET) ~reclaiming (shape : shape) :
+    Explore.program =
+ fun () ->
+  let set = D.create ~buckets:2 (tiny_cfg ~threads:(2 * shape.threads)) in
+  let body tid () =
+    let rng = Random.State.make [| shape.prog_seed; tid |] in
+    for _session = 1 to 2 do
+      let s = D.register set in
+      for _ = 1 to shape.ops do
+        let k = Random.State.int rng shape.keys in
+        match Random.State.int rng 3 with
+        | 0 -> ignore (D.insert set k)
+        | 1 -> ignore (D.remove set k)
+        | _ -> ignore (D.contains set k)
+      done;
+      D.deregister set s
+    done
+  in
+  ( List.init shape.threads body,
+    fun () ->
+      D.flush set;
+      let m = D.metrics set in
+      let v n = Option.value ~default:0 (Smr.Metrics.series_value m n) in
+      v "orphaned" = v "adopted"
+      && ((not reclaiming) || Smr.Smr_intf.unreclaimed (D.stats set) = 0) )
+
+let program_for ?(churn = false) (module S : SMR) structure shape :
+    Explore.program =
   let module D = (val Registry.Sim.make_set structure (module S)) in
-  set_program (module D) ~reclaiming:(reclaiming (module S)) shape
+  let mk = if churn then churn_program else set_program in
+  mk (module D) ~reclaiming:(reclaiming (module S)) shape
 
 (* ------------------------------------------------------------------ *)
 (* The conformance matrix                                              *)
@@ -99,6 +133,7 @@ type cell = {
   c_scheme : string;
   c_structure : structure;
   c_mode : Explore.mode;
+  c_churn : bool;  (** threads join/leave mid-program (churn column) *)
   c_verdict : verdict;
 }
 
@@ -119,12 +154,12 @@ let modes_of_budgets b =
   ]
 
 let run_cell ?(seed = 0) ?(budgets = smoke_budgets) ?(shape = default_shape)
-    (scheme_name, (module S : SMR)) structure mode : cell =
+    ?(churn = false) (scheme_name, (module S : SMR)) structure mode : cell =
   let verdict =
     if not (supported structure scheme_name) then
       Skipped "hazard-pointer schemes cannot protect a snapshot traversal"
     else begin
-      let program = program_for (module S) structure shape in
+      let program = program_for ~churn (module S) structure shape in
       match
         Explore.explore ~mode ~seed ~limit:budgets.dfs_limit program
       with
@@ -134,7 +169,13 @@ let run_cell ?(seed = 0) ?(budgets = smoke_budgets) ?(shape = default_shape)
           Fail { schedule; shrunk; message }
     end
   in
-  { c_scheme = scheme_name; c_structure = structure; c_mode = mode; c_verdict = verdict }
+  {
+    c_scheme = scheme_name;
+    c_structure = structure;
+    c_mode = mode;
+    c_churn = churn;
+    c_verdict = verdict;
+  }
 
 let run_matrix ?(seed = 0) ?(budgets = smoke_budgets)
     ?(shape = default_shape) ?(axes = Plan.conformance ()) () : cell list =
@@ -143,9 +184,13 @@ let run_matrix ?(seed = 0) ?(budgets = smoke_budgets)
       match scheme_of_name scheme_name with
       | None -> invalid_arg ("Verify.run_matrix: unknown scheme " ^ scheme_name)
       | Some s ->
-          List.map
+          List.concat_map
             (fun mode ->
-              run_cell ~seed ~budgets ~shape (scheme_name, s) structure mode)
+              List.map
+                (fun churn ->
+                  run_cell ~seed ~budgets ~shape ~churn (scheme_name, s)
+                    structure mode)
+                [ false; true ])
             (modes_of_budgets budgets))
     (Plan.pairs axes)
 

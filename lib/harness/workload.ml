@@ -23,6 +23,19 @@ type mix = { read_pct : int  (** gets; the rest splits 50/50 insert/delete *) }
 let write_heavy = { read_pct = 0 }
 let read_mostly = { read_pct = 90 }
 
+(** The churn model: short-lived {e session} threads that join the scheme,
+    run a burst of operations, deregister and leave, with the next session
+    of the lane scheduled behind them — thousands of join/leave cycles per
+    run, the workload ROADMAP items 1 and 5 need. [lanes] bounds how many
+    sessions exist concurrently (each lane runs its share of [sessions]
+    sequentially), so the scheme needs [lanes] spare slots beyond the
+    static threads. *)
+type churn = {
+  sessions : int;  (** total join/leave cycles over the measured phase *)
+  session_ops : int;  (** operations each session performs while joined *)
+  lanes : int;  (** concurrent session lanes *)
+}
+
 type spec = {
   threads : int;
   stalled : int;  (** extra threads that enter and stall forever (Fig. 10a) *)
@@ -40,6 +53,9 @@ type spec = {
       (** record a footprint timeline sample every this many cost units of
           the measured phase (0 = no timeline). Sampling reads only plain
           (uncosted) counters, so it never perturbs the schedule. *)
+  churn : churn option;
+      (** when set, session threads join/leave throughout the measured
+          phase (see {!churn}); churn counters land in [result.churn] *)
   op_body : int;
       (** fixed per-operation cost charged for the work the cell-level
           model does not see — hashing, key comparisons, allocator work.
@@ -61,12 +77,31 @@ let default_spec =
     use_trim = false;
     buckets = 4096;
     sample_every = 0;
+    churn = None;
     op_body = 0;
   }
 
 (** One footprint timeline point: simulated time into the measured phase,
     resident allocator bytes, and retired-but-unreclaimed nodes. *)
 type sample = { s_at : int; s_resident : int; s_unreclaimed : int }
+
+(** Churn accounting for one run (present when [spec.churn] is set). All
+    counters are collected by the harness at zero simulated cost; the
+    [orphaned]/[adopted] pair is read from the scheme's own metric series
+    {e after} a teardown [flush], so [orphan_backlog] is the number of
+    handed-off limbo nodes no scan ever adopted — the leak the churn
+    verdict requires to be zero. *)
+type churn_stats = {
+  c_joins : int;
+  c_leaves : int;
+  c_session_ops : int;  (** operations performed inside sessions *)
+  c_reuses : int;  (** sessions that recycled a previously-released slot *)
+  c_avg_reuse_latency : float;
+      (** mean cost units between a slot's release and its reuse *)
+  c_orphaned : int;  (** limbo nodes handed off by departing sessions *)
+  c_adopted : int;  (** orphaned nodes adopted by later scans *)
+  c_orphan_backlog : int;  (** orphaned - adopted after the final flush *)
+}
 
 type result = {
   ops : int;
@@ -85,6 +120,8 @@ type result = {
   timeline : sample list;
       (** footprint samples in time order; empty unless [spec.sample_every]
           is positive *)
+  churn : churn_stats option;
+      (** churn accounting; present iff [spec.churn] was set *)
 }
 
 let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
@@ -95,6 +132,25 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
           loop could never terminate"
          spec.prefill spec.key_range);
   let set = D.create ~buckets:spec.buckets spec.cfg in
+  (* Pre-register every static thread (prefill + workers + stalled) in tid
+     order, from outside any simulated run: the charged stores of
+     [register] are free out here, the dense slots come out equal to the
+     tids, and the live-slot scans the schemes now run read exactly the
+     cells the old full-capacity scans read — so churn-free schedules (and
+     their pinned golden hashes) are bit-identical. *)
+  let static_tids = 1 + spec.threads + spec.stalled in
+  (match spec.churn with
+  | None -> ()
+  | Some ch ->
+      if static_tids + max 1 ch.lanes > spec.cfg.max_threads then
+        invalid_arg
+          (Fmt.str
+             "Workload.run: churn needs %d slots (%d static + %d lanes) but               cfg.max_threads is %d"
+             (static_tids + max 1 ch.lanes)
+             static_tids (max 1 ch.lanes) spec.cfg.max_threads));
+  for tid = 0 to min static_tids spec.cfg.max_threads - 1 do
+    ignore (D.register ~tid set)
+  done;
   let sched = Sched.create ~seed:spec.seed () in
   (* Phase 1: prefill from a single simulated thread (tid 0, reused by
      worker 0 afterwards — it holds no guard across the phases). *)
@@ -177,6 +233,52 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   for tid = 0 to spec.threads - 1 do
     ignore (Sched.spawn sched (worker tid))
   done;
+  (* Churn lanes: each lane chains its sessions with [spawn_at], so every
+     session is a first-class Ev_join/Ev_leave churn thread. All harness
+     bookkeeping here is plain OCaml (uncosted); the only charged work is
+     what the scheme itself does in register/enter/ops/leave/deregister —
+     the per-churn overhead the figures driver reports. *)
+  let c_joins = ref 0 in
+  let c_leaves = ref 0 in
+  let c_session_ops = ref 0 in
+  let c_reuses = ref 0 in
+  let c_reuse_lat = ref 0 in
+  let released_at = Array.make (max 1 spec.cfg.max_threads) (-1) in
+  (match spec.churn with
+  | None -> ()
+  | Some ch when ch.sessions <= 0 -> ()
+  | Some ch ->
+      let lanes = max 1 ch.lanes in
+      let rec session lane rng remaining () =
+        incr c_joins;
+        let s = D.register set in
+        let sid = (s : Smr.Smr_intf.slot).id in
+        if released_at.(sid) >= 0 then begin
+          incr c_reuses;
+          c_reuse_lat := !c_reuse_lat + (Sched.now sched - released_at.(sid))
+        end;
+        let g = D.enter set in
+        for _ = 1 to ch.session_ops do
+          one_op rng g;
+          incr c_session_ops
+        done;
+        D.leave set g;
+        D.deregister set s;
+        released_at.(sid) <- Sched.now sched;
+        incr c_leaves;
+        if remaining > 1 then
+          Sched.spawn_at sched
+            ~at:(Sched.now sched + 1)
+            (session lane rng (remaining - 1))
+      in
+      for lane = 0 to lanes - 1 do
+        let share =
+          (ch.sessions / lanes) + (if lane < ch.sessions mod lanes then 1 else 0)
+        in
+        if share > 0 then
+          let rng = Random.State.make [| spec.seed; 0x5e55; lane |] in
+          Sched.spawn_at sched ~at:(steps0 + 1 + lane) (session lane rng share)
+      done);
   (* Stalled threads: enter (optionally after touching the structure) and
      park forever while holding the guard. *)
   for _ = 1 to spec.stalled do
@@ -194,9 +296,41 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   | Sched.All_finished -> invalid_arg "Workload.run: workers terminated");
   let steps = Sched.now sched - steps0 in
   Profile.add_steps "workload.measured" steps;
-  let total_ops = Array.fold_left ( + ) 0 ops in
+  let total_ops = Array.fold_left ( + ) 0 ops + !c_session_ops in
   let latency = Histogram.create () in
   Array.iter (Histogram.merge latency) latencies;
+  (* Capture the result views before the churn teardown flush below can
+     perturb them. *)
+  let final_stats = D.stats set in
+  let final_metrics = D.metrics set in
+  let churn_stats =
+    match spec.churn with
+    | None -> None
+    | Some _ ->
+        (* Teardown flush: scans adopt any orphan handoffs still parked on
+           the global list, so a non-zero backlog afterwards is a genuine
+           leak, not an unlucky cut-off. *)
+        D.flush set;
+        let m = D.metrics set in
+        let series name =
+          Option.value ~default:0 (Smr.Metrics.series_value m name)
+        in
+        let orphaned = series "orphaned" in
+        let adopted = series "adopted" in
+        Some
+          {
+            c_joins = !c_joins;
+            c_leaves = !c_leaves;
+            c_session_ops = !c_session_ops;
+            c_reuses = !c_reuses;
+            c_avg_reuse_latency =
+              (if !c_reuses = 0 then 0.0
+               else float_of_int !c_reuse_lat /. float_of_int !c_reuses);
+            c_orphaned = orphaned;
+            c_adopted = adopted;
+            c_orphan_backlog = orphaned - adopted;
+          }
+  in
   {
     ops = total_ops;
     steps;
@@ -207,12 +341,13 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
       (if !samples = 0 then 0.0
        else float_of_int !unreclaimed_sum /. float_of_int !samples);
     peak_unreclaimed = !unreclaimed_peak;
-    final = D.stats set;
-    metrics = D.metrics set;
+    final = final_stats;
+    metrics = final_metrics;
     latency;
     op_costs =
       Smr_runtime.Sim_cell.diff_counts
         ~now:(Smr_runtime.Sim_cell.snapshot_counts ())
         ~past:counts0;
     timeline = List.rev !timeline;
+    churn = churn_stats;
   }

@@ -34,6 +34,11 @@ struct
   type 'a t = {
     cfg : Smr.Smr_intf.config;
     counters : Smr.Lifecycle.counters;
+    (* Thread-lifecycle bookkeeping only (§2.4 transparency): join/leave
+       never touch a simulated cell. The registry recycles the dense
+       indices of the per-thread pending-batch array; the slot directory
+       below is the paper's k-slot structure and is unrelated. *)
+    reg : Smr.Slot_registry.t;
     dir : 'a slot Dir.t;
     era : int R.Atomic.t;  (* AllocEra *)
     alloc_clock : int Stdlib.Atomic.t;
@@ -48,7 +53,7 @@ struct
   }
 
   type 'a guard = {
-    tid : int;
+    sid : int;  (* registered slot id, indexing [pending] *)
     slot : 'a slot;
     slot_idx : int;
     handle : 'a B.node option;
@@ -65,6 +70,7 @@ struct
     {
       cfg;
       counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
+      reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
       dir = Dir.create ~kmin:(next_pow2 cfg.slots) ~make_slot;
       era = R.Atomic.make 0;
       alloc_clock = Stdlib.Atomic.make 0;
@@ -109,12 +115,21 @@ struct
       probe start 0 k
     end
 
+  (* Free join/leave, as in the single-slot engine: a departing thread's
+     unsealed pending batch stays with its recycled index and is drained
+     by [flush] at teardown. *)
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    Smr.Slot_registry.register t.reg ~tid
+
+  let deregister t s = Smr.Slot_registry.release t.reg s
+
   let enter t =
-    let tid = R.self () in
-    let slot_idx = choose_slot t tid in
+    let sid = Smr.Slot_registry.ensure t.reg ~tid:(R.self ()) in
+    let slot_idx = choose_slot t sid in
     let slot = Dir.get t.dir slot_idx in
     let seen = H.enter_faa slot.head in
-    { tid; slot; slot_idx; handle = seen.hptr }
+    { sid; slot; slot_idx; handle = seen.hptr }
 
   (* Fig. 3 traverse, plus the Fig. 5 ack decrement for the robust flavour.
      Decrements every node from [first] through [handle] inclusive; batches
@@ -279,9 +294,9 @@ struct
      Never pads with dummy nodes: that would recurse into the allocator
      under the very pressure we are relieving. *)
   let relieve_pressure t () =
-    let tid = R.self () in
+    let sid = Smr.Slot_registry.ensure t.reg ~tid:(R.self ()) in
     let k = Dir.k t.dir in
-    let p = t.pending.(tid) in
+    let p = t.pending.(sid) in
     if p.len > k then seal_pending t p ~k
 
   let alloc ?bytes t payload =
@@ -306,7 +321,7 @@ struct
   let retire t g n =
     Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
       t.counters;
-    let p = t.pending.(g.tid) in
+    let p = t.pending.(g.sid) in
     p.nodes <- n :: p.nodes;
     p.len <- p.len + 1;
     let k = Dir.k t.dir in
@@ -319,8 +334,8 @@ struct
   let flush t =
     let k = Dir.k t.dir in
     let needed = max t.cfg.batch_size (k + 1) in
-    for tid = 0 to t.cfg.max_threads - 1 do
-      let p = t.pending.(tid) in
+    for sid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(sid) in
       if p.len > 0 then begin
         let sample =
           match p.nodes with
@@ -354,6 +369,7 @@ struct
              t.m_insert_retries;
              t.m_leave_retries;
              t.m_slot_grows;
-           ])
+           ]
+        @ Smr.Slot_registry.series t.reg)
       t.counters
 end

@@ -28,7 +28,12 @@ struct
   type 'a t = {
     cfg : Smr.Smr_intf.config;
     counters : Smr.Lifecycle.counters;
-    slots : 'a slot array;  (* one per thread; k = max_threads *)
+    (* Thread-lifecycle bookkeeping only: Hyaline needs no per-thread
+       registration work (§2.4), so join/leave never touch a simulated
+       cell — the transparency the churn experiment measures as a zero
+       cost delta. The registry just recycles dense slot indices. *)
+    reg : Smr.Slot_registry.t;
+    slots : 'a slot array;  (* one per registered thread; k = max_threads *)
     era : int R.Atomic.t;
     alloc_clock : int Stdlib.Atomic.t;
     pending : 'a pending array;
@@ -39,7 +44,7 @@ struct
     m_insert_retries : Smr.Metrics.Counter.t;
   }
 
-  type 'a guard = { tid : int; handle : 'a B.node option }
+  type 'a guard = { sid : int; handle : 'a B.node option }
 
   let idle = { active = false; hptr = None }
 
@@ -47,6 +52,7 @@ struct
     {
       cfg;
       counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
+      reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
       slots =
         Array.init cfg.max_threads (fun _ ->
             { head = R.Atomic.make idle; access = R.Atomic.make 0 });
@@ -65,12 +71,24 @@ struct
     Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
     n.payload
 
+  (* The paper's transparency claim (§2.4), machine-checked by the churn
+     experiment: joining and leaving are free — no reservation cells to
+     publish or clear, no final scan, no limbo to orphan (a departing
+     thread's unsealed pending batch simply stays with the slot for its
+     next occupant, and is drained by [flush] at teardown). *)
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    Smr.Slot_registry.register t.reg ~tid
+
+  let deregister t s = Smr.Slot_registry.release t.reg s
+
   (* Fig. 4 enter: a wait-free store. The slot necessarily reads
-     [{false, None}] here — the previous leave swapped it out. *)
+     [{false, None}] here — the previous leave swapped it out (and a
+     recycled slot's last occupant left the same way). *)
   let enter t =
-    let tid = R.self () in
-    R.Atomic.set t.slots.(tid).head { active = true; hptr = None };
-    { tid; handle = None }
+    let sid = Smr.Slot_registry.ensure t.reg ~tid:(R.self ()) in
+    R.Atomic.set t.slots.(sid).head { active = true; hptr = None };
+    { sid; handle = None }
 
   (* Decrement every batch in the detached list once (this thread owned the
      only reference this slot contributed); free on zero, FIFO-deferred. *)
@@ -93,13 +111,13 @@ struct
 
   (* Fig. 4 leave: a wait-free swap detaching the whole list. *)
   let leave t g =
-    let old = R.Atomic.exchange t.slots.(g.tid).head idle in
+    let old = R.Atomic.exchange t.slots.(g.sid).head idle in
     if Option.is_some old.hptr then traverse t old.hptr g.handle
 
   (* leave + enter fused, keeping the active bit set throughout. *)
   let trim t g =
     Smr.Metrics.Counter.incr t.m_trims;
-    let slot = t.slots.(g.tid) in
+    let slot = t.slots.(g.sid) in
     let old = R.Atomic.exchange slot.head { active = true; hptr = None } in
     assert old.active;
     if Option.is_some old.hptr then traverse t old.hptr g.handle;
@@ -109,7 +127,7 @@ struct
   let protect t g ~idx:_ ~read ~target:_ =
     if not F.robust then read ()
     else begin
-      let slot = t.slots.(g.tid) in
+      let slot = t.slots.(g.sid) in
       let rec attempt access =
         let v = read () in
         let alloc = R.Atomic.get t.era in
@@ -127,32 +145,33 @@ struct
   let retire_batch t (b : 'a B.batch) =
     let cursor = ref 1 in
     let inserts = ref 0 in
-    for i = 0 to Array.length t.slots - 1 do
-      let slot = t.slots.(i) in
-      let rec attempt () =
-        let seen = R.Atomic.get slot.head in
-        let skip =
-          (not seen.active)
-          || (F.robust && R.Atomic.get slot.access < b.min_birth)
+    (* Live (registered) slots only, in ascending slot order: retire cost
+       tracks the number of threads actually present, not the capacity. *)
+    Smr.Slot_registry.iter_live t.reg (fun i ->
+        let slot = t.slots.(i) in
+        let rec attempt () =
+          let seen = R.Atomic.get slot.head in
+          let skip =
+            (not seen.active)
+            || (F.robust && R.Atomic.get slot.access < b.min_birth)
+          in
+          if not skip then begin
+            let node = b.nodes.(!cursor) in
+            R.Atomic.set node.B.next seen.hptr;
+            if
+              R.Atomic.compare_and_set slot.head seen
+                { active = true; hptr = Some node }
+            then begin
+              incr cursor;
+              incr inserts
+            end
+            else begin
+              Smr.Metrics.Counter.incr t.m_insert_retries;
+              attempt ()
+            end
+          end
         in
-        if not skip then begin
-          let node = b.nodes.(!cursor) in
-          R.Atomic.set node.B.next seen.hptr;
-          if
-            R.Atomic.compare_and_set slot.head seen
-              { active = true; hptr = Some node }
-          then begin
-            incr cursor;
-            incr inserts
-          end
-          else begin
-            Smr.Metrics.Counter.incr t.m_insert_retries;
-            attempt ()
-          end
-        end
-      in
-      attempt ()
-    done;
+        attempt ());
     (* When [inserts = 0] no slot was active and the FAA finds NRef at 0,
        freeing the batch on the spot. *)
     if R.Atomic.fetch_and_add b.nref !inserts = - !inserts then
@@ -173,7 +192,7 @@ struct
      already long enough to be a valid batch (> k nodes). Never pads with
      dummy allocations — that would spend the very bytes we lack. *)
   let relieve_pressure t () =
-    let p = t.pending.(R.self ()) in
+    let p = t.pending.(Smr.Slot_registry.ensure t.reg ~tid:(R.self ())) in
     if p.len > Array.length t.slots then seal_pending t p
 
   let alloc ?bytes t payload =
@@ -196,15 +215,17 @@ struct
   let retire t g n =
     Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
       t.counters;
-    let p = t.pending.(g.tid) in
+    let p = t.pending.(g.sid) in
     p.nodes <- n :: p.nodes;
     p.len <- p.len + 1;
     if p.len >= effective_batch t then seal_pending t p
 
+  (* Every slot ever used, live or not: a departed thread's pending batch
+     stays behind for recycling and must still be drained at teardown. *)
   let flush t =
     let needed = effective_batch t in
-    for tid = 0 to t.cfg.max_threads - 1 do
-      let p = t.pending.(tid) in
+    for sid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(sid) in
       if p.len > 0 then begin
         let sample =
           match p.nodes with n :: _ -> n.B.payload | [] -> assert false
@@ -229,6 +250,7 @@ struct
     Smr.Lifecycle.snapshot ~scheme:F.scheme_name
       ~series:
         (Smr.Metrics.series_of
-           [ t.m_sealed; t.m_sealed_nodes; t.m_trims; t.m_insert_retries ])
+           [ t.m_sealed; t.m_sealed_nodes; t.m_trims; t.m_insert_retries ]
+        @ Smr.Slot_registry.series t.reg)
       t.counters
 end

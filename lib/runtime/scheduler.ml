@@ -26,6 +26,9 @@ let st_finished = 3
 
 type thread = {
   tid : int;
+  churn : bool;
+      (* a short-lived session thread created by [spawn_at]: traced as
+         Ev_join/Ev_leave instead of Ev_spawn/Ev_finish *)
   mutable st : int;
   mutable fn : unit -> unit;  (* entry point; [dummy_fn] once started *)
   mutable cont : (unit, unit) Effect.Deep.continuation;
@@ -53,6 +56,8 @@ type event =
   | Ev_suspend of { tid : int; at : int }
   | Ev_resume of { tid : int; at : int }
   | Ev_kill of { tid : int; at : int }
+  | Ev_join of { tid : int; at : int }
+  | Ev_leave of { tid : int; at : int }
 
 type thread_state = Runnable | Stalled | Suspended | Done
 
@@ -87,6 +92,13 @@ type t = {
          runnable set is inspected — the fault-injection hook: it may
          suspend, resume or kill threads and the decision that follows
          sees the updated runnable set *)
+  mutable spawn_queue : (int * (unit -> unit)) list;
+      (* deferred joins from [spawn_at], sorted by activation time
+         (stable for equal times); activated by the run loop *)
+  mutable next_spawn : int;
+      (* activation time of the queue head, [max_int] when empty — folded
+         into the step fast path's deadline test so churn-free runs pay
+         nothing and draw the RNG exactly as before *)
   mutable tracer : (event -> unit) option;
   mutable handler : (unit, unit) Effect.Deep.handler;
       (* the one deep handler shared by every fiber of this scheduler,
@@ -107,6 +119,7 @@ let dummy_cont : (unit, unit) Effect.Deep.continuation = Obj.magic 0
 let dummy_thread =
   {
     tid = -1;
+    churn = false;
     st = st_finished;
     fn = dummy_fn;
     cont = dummy_cont;
@@ -152,7 +165,9 @@ let make_handler (t : t) : (unit, unit) Effect.Deep.handler =
     if th.run_pos >= 0 then drop_runnable t th;
     match t.tracer with
     | None -> ()
-    | Some f -> f (Ev_finish { tid = th.tid; at = t.clock })
+    | Some f ->
+        if th.churn then f (Ev_leave { tid = th.tid; at = t.clock })
+        else f (Ev_finish { tid = th.tid; at = t.clock })
   in
   let on_yield (k : (unit, unit) Effect.Deep.continuation) =
     let th = t.cur_th in
@@ -199,6 +214,8 @@ let create ?(seed = 42) () =
       hooked = false;
       pick_fn = None;
       on_decision = None;
+      spawn_queue = [];
+      next_spawn = max_int;
       tracer = None;
       handler = dummy_handler;
     }
@@ -208,7 +225,7 @@ let create ?(seed = 42) () =
 
 let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
-let spawn t f =
+let spawn_thread t ~churn f =
   let tid = t.count in
   if tid = Array.length t.threads then begin
     let cap = max 8 (2 * tid) in
@@ -219,6 +236,7 @@ let spawn t f =
   let th =
     {
       tid;
+      churn;
       st = st_not_started;
       fn = f;
       cont = dummy_cont;
@@ -232,8 +250,42 @@ let spawn t f =
   t.count <- t.count + 1;
   t.live <- t.live + 1;
   push_runnable t th;
-  emit t (Ev_spawn { tid; at = t.clock });
+  emit t
+    (if churn then Ev_join { tid; at = t.clock }
+     else Ev_spawn { tid; at = t.clock });
   tid
+
+let spawn t f = spawn_thread t ~churn:false f
+
+(* Enqueue a join at absolute clock time [at] (clamped to now). Insertion
+   keeps the queue time-sorted and stable, so equal-time joins activate
+   in submission order — determinism does not depend on queue tricks. *)
+let spawn_at t ~at f =
+  let at = if at < t.clock then t.clock else at in
+  let rec insert = function
+    | [] -> [ (at, f) ]
+    | (a, _) :: _ as rest when at < a -> (at, f) :: rest
+    | entry :: rest -> entry :: insert rest
+  in
+  t.spawn_queue <- insert t.spawn_queue;
+  match t.spawn_queue with
+  | (a, _) :: _ -> t.next_spawn <- a
+  | [] -> assert false
+
+(* Activate every queued join that is due at the current clock. *)
+let activate_due t =
+  let rec go () =
+    match t.spawn_queue with
+    | (at, f) :: rest when at <= t.clock ->
+        t.spawn_queue <- rest;
+        ignore (spawn_thread t ~churn:true f);
+        go ()
+    | (at, _) :: _ -> t.next_spawn <- at
+    | [] -> t.next_spawn <- max_int
+  in
+  go ()
+
+let pending_spawns t = List.length t.spawn_queue
 
 let self () =
   match !active with
@@ -263,6 +315,12 @@ let[@inline] step_on t cost cell write =
   | Some f -> f (Ev_step { tid = th.tid; cost; at = t.clock }));
   if t.hooked then Effect.perform Yield
   else if t.clock >= t.deadline then Effect.perform Yield
+  else if t.clock >= t.next_spawn then
+    (* A queued join is due: return to the run loop without drawing the
+       RNG — the loop activates it and the next pick sees the joined
+       thread. [next_spawn] is [max_int] when no churn is configured, so
+       churn-free schedules are bit-identical. *)
+    Effect.perform Yield
   else begin
     let i = Random.State.int t.rng t.runnable_count in
     if Array.unsafe_get t.runnable i != th then begin
@@ -408,9 +466,20 @@ let run ?(budget = max_int) t =
     end
     else begin
       (match t.on_decision with None -> () | Some f -> f ());
-      if t.live = 0 then All_finished
+      if t.next_spawn <= t.clock then activate_due t;
+      if t.live = 0 && t.next_spawn = max_int then All_finished
       else if t.clock >= t.deadline then Budget_exhausted
-      else if t.runnable_count = 0 then Only_stalled
+      else if t.runnable_count = 0 then begin
+        if t.next_spawn < t.deadline then begin
+          (* Everything present is stalled (or finished) but a join is
+             scheduled: fast-forward the idle time to the next join. *)
+          t.clock <- t.next_spawn;
+          activate_due t;
+          loop ()
+        end
+        else if t.live = 0 then Budget_exhausted
+        else Only_stalled
+      end
       else begin
         let index =
           match t.pick_fn with

@@ -41,6 +41,10 @@ type event =
   | Ev_suspend of { tid : int; at : int }  (** fault-injected park *)
   | Ev_resume of { tid : int; at : int }  (** fault-injected unpark *)
   | Ev_kill of { tid : int; at : int }  (** fault-injected crash *)
+  | Ev_join of { tid : int; at : int }
+      (** a churn thread scheduled with {!spawn_at} became runnable *)
+  | Ev_leave of { tid : int; at : int }
+      (** a churn thread finished (its [Ev_finish] analogue) *)
 
 (** Coarse per-thread state, for explorers and fault planners. *)
 type thread_state =
@@ -56,6 +60,23 @@ val spawn : t -> (unit -> unit) -> int
 (** Register a thread; returns its id. May also be called from inside a
     running thread (dynamic thread creation). The thread starts at the
     scheduler's discretion once {!run} is (re-)entered. *)
+
+val spawn_at : t -> at:int -> (unit -> unit) -> unit
+(** Schedule a short-lived {e churn} thread to join at absolute clock time
+    [at] (clamped to the current clock). The thread id is assigned when
+    the join activates, which the trace records as {!Ev_join}; its
+    completion is recorded as {!Ev_leave}. Equal-time joins activate in
+    submission order. Callable before a run or from inside a running
+    thread (a leaving session typically schedules its lane's next
+    session). When every present thread is stalled or finished but joins
+    are still queued, the run loop fast-forwards the clock to the next
+    join instead of reporting [Only_stalled]. With no queued joins the
+    scheduler's RNG draws are bit-identical to a scheduler without this
+    feature, so churn-free schedules and their golden hashes are
+    unchanged. *)
+
+val pending_spawns : t -> int
+(** Number of {!spawn_at} joins not yet activated. *)
 
 val run : ?budget:int -> t -> outcome
 (** Execute until every thread finished, the cost [budget] (default

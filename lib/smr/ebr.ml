@@ -23,17 +23,25 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     cfg : Smr_intf.config;
     counters : Lifecycle.counters;
     epoch : int R.Atomic.t;
-    reservations : int R.Atomic.t array;
-    (* Thread-local retire lists: (retire_epoch, node), newest first. *)
+    reg : Slot_registry.t;
+    reservations : int R.Atomic.t array;  (* slot-indexed *)
+    (* Slot-local retire lists: (retire_epoch, node), newest first. *)
     limbo : (int * 'a node) list array;
     since_scan : int array;
+    (* Limbo nodes handed off by departed threads (deregister could not
+       free them); adopted by the next scan. Plain state under a mutex:
+       uncosted, so adoption never perturbs the schedule. *)
+    mutable orphans : (int * 'a node) list;
+    orphan_lock : Mutex.t;
     (* Metrics (plain atomics, no simulated cost). *)
     m_epoch_advances : Metrics.Counter.t;
     m_scans : Metrics.Counter.t;
     m_scanned : Metrics.Counter.t;
+    m_orphaned : Metrics.Counter.t;
+    m_adopted : Metrics.Counter.t;
   }
 
-  type 'a guard = { tid : int }
+  type 'a guard = { sid : int  (* registered slot id *) }
 
   (* Per-node scheme overhead in modelled bytes: the retire-epoch tag and
      the limbo-list link (two words). *)
@@ -44,13 +52,18 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       cfg;
       counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
       epoch = R.Atomic.make 0;
+      reg = Slot_registry.create ~capacity:cfg.max_threads;
       reservations =
         Array.init cfg.max_threads (fun _ -> R.Atomic.make inactive);
       limbo = Array.make cfg.max_threads [];
       since_scan = Array.make cfg.max_threads 0;
+      orphans = [];
+      orphan_lock = Mutex.create ();
       m_epoch_advances = Metrics.Counter.make "epoch_advances";
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
+      m_orphaned = Metrics.Counter.make "orphaned";
+      m_adopted = Metrics.Counter.make "adopted";
     }
 
   let data n =
@@ -58,37 +71,79 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     n.payload
 
   let enter t =
-    let tid = R.self () in
-    R.Atomic.set t.reservations.(tid) (R.Atomic.get t.epoch);
-    { tid }
+    let sid = Slot_registry.ensure t.reg ~tid:(R.self ()) in
+    R.Atomic.set t.reservations.(sid) (R.Atomic.get t.epoch);
+    { sid }
 
-  let leave t g = R.Atomic.set t.reservations.(g.tid) inactive
+  let leave t g = R.Atomic.set t.reservations.(g.sid) inactive
 
+  (* Only the currently registered slots are read (ascending slot order,
+     so the charged loads are deterministic) — the live-slot scan the
+     churn refactor introduced; departed threads no longer pin the
+     horizon with stale reservations. *)
   let oldest_reservation t =
     let oldest = ref inactive in
-    for i = 0 to t.cfg.max_threads - 1 do
-      let r = R.Atomic.get t.reservations.(i) in
-      if r < !oldest then oldest := r
-    done;
+    Slot_registry.iter_live t.reg (fun i ->
+        let r = R.Atomic.get t.reservations.(i) in
+        if r < !oldest then oldest := r);
     !oldest
+
+  (* Move the global orphan list into this slot's limbo so the scan below
+     frees whatever the horizon allows. Uncosted bookkeeping. *)
+  let adopt_orphans t sid =
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        Metrics.Counter.add t.m_adopted (List.length os);
+        t.limbo.(sid) <- os @ t.limbo.(sid)
 
   (* Advance the epoch if every active thread has caught up with it, then
      free own limbo nodes older than the oldest reservation. *)
-  let scan t tid =
+  let scan t sid =
     Metrics.Counter.incr t.m_scans;
-    Metrics.Counter.add t.m_scanned (List.length t.limbo.(tid));
+    adopt_orphans t sid;
+    Metrics.Counter.add t.m_scanned (List.length t.limbo.(sid));
     let e = R.Atomic.get t.epoch in
     if oldest_reservation t >= e then
       if R.Atomic.compare_and_set t.epoch e (e + 1) then
         Metrics.Counter.incr t.m_epoch_advances;
     let horizon = oldest_reservation t in
     let keep, free =
-      List.partition (fun (re, _) -> re >= horizon) t.limbo.(tid)
+      List.partition (fun (re, _) -> re >= horizon) t.limbo.(sid)
     in
-    t.limbo.(tid) <- keep;
+    t.limbo.(sid) <- keep;
     List.iter
       (fun (_, n) -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    let s = Slot_registry.register t.reg ~tid in
+    (* Publish the (inactive) reservation word: the one charged store EBR
+       registration costs. *)
+    R.Atomic.set t.reservations.(s.Slot_registry.id) inactive;
+    s
+
+  let deregister t (s : Slot_registry.slot) =
+    let sid = s.Slot_registry.id in
+    R.Atomic.set t.reservations.(sid) inactive;
+    if t.limbo.(sid) <> [] then scan t sid;
+    (match t.limbo.(sid) with
+    | [] -> ()
+    | survivors ->
+        (* The DEBRA handoff: nodes this thread can no longer wait out go
+           to the global orphan list for the next scan to adopt. *)
+        t.limbo.(sid) <- [];
+        Metrics.Counter.add t.m_orphaned (List.length survivors);
+        Mutex.lock t.orphan_lock;
+        t.orphans <- survivors @ t.orphans;
+        Mutex.unlock t.orphan_lock);
+    t.since_scan.(sid) <- 0;
+    Slot_registry.release t.reg s
 
   (* Budget relief: one own-thread scan. Under a stalled reservation the
      horizon is pinned and the scan frees nothing — EBR then genuinely runs
@@ -99,17 +154,17 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       + Option.value bytes ~default:t.cfg.Smr_intf.node_bytes
     in
     R.alloc_point ~bytes;
-    let relieve () = scan t (R.self ()) in
+    let relieve () = scan t (Slot_registry.ensure t.reg ~tid:(R.self ())) in
     { payload; state = Lifecycle.on_alloc ~bytes ~relieve ~scheme:scheme_name t.counters }
 
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
-    let tid = g.tid in
-    t.limbo.(tid) <- (R.Atomic.get t.epoch, n) :: t.limbo.(tid);
-    t.since_scan.(tid) <- t.since_scan.(tid) + 1;
-    if t.since_scan.(tid) >= t.cfg.batch_size then begin
-      t.since_scan.(tid) <- 0;
-      scan t tid
+    let sid = g.sid in
+    t.limbo.(sid) <- (R.Atomic.get t.epoch, n) :: t.limbo.(sid);
+    t.since_scan.(sid) <- t.since_scan.(sid) + 1;
+    if t.since_scan.(sid) >= t.cfg.batch_size then begin
+      t.since_scan.(sid) <- 0;
+      scan t sid
     end
 
   let protect (_ : _ t) (_ : _ guard) ~idx:_ ~read ~target:_ = read ()
@@ -118,16 +173,46 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     leave t g;
     enter t
 
+  (* Live slots only (the former full 0..max_threads-1 sweep charged
+     O(max_threads^2) reads even when two threads ever ran). If no slot is
+     live, nothing adopted the orphans above: with every reservation
+     cleared the horizon is open, so partition them directly. *)
   let flush t =
-    for tid = 0 to t.cfg.max_threads - 1 do
-      scan t tid
-    done
+    Slot_registry.iter_live t.reg (fun sid -> scan t sid);
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let horizon = oldest_reservation t in
+        let keep, free = List.partition (fun (re, _) -> re >= horizon) os in
+        Metrics.Counter.add t.m_adopted (List.length free);
+        List.iter
+          (fun (_, n) ->
+            Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+          free;
+        (match keep with
+        | [] -> ()
+        | _ ->
+            Mutex.lock t.orphan_lock;
+            t.orphans <- keep @ t.orphans;
+            Mutex.unlock t.orphan_lock)
 
   let stats t = Lifecycle.stats t.counters
 
   let metrics t =
     Lifecycle.snapshot ~scheme:scheme_name
       ~series:
-        (Metrics.series_of [ t.m_epoch_advances; t.m_scans; t.m_scanned ])
+        (Metrics.series_of
+           [
+             t.m_epoch_advances;
+             t.m_scans;
+             t.m_scanned;
+             t.m_orphaned;
+             t.m_adopted;
+           ]
+        @ Slot_registry.series t.reg)
       t.counters
 end

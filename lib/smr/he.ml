@@ -26,10 +26,14 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     cfg : Smr_intf.config;
     counters : Lifecycle.counters;
     era : int R.Atomic.t;
-    reservations : int R.Atomic.t array array;  (* [tid].(idx) = era or none *)
+    reg : Slot_registry.t;
+    reservations : int R.Atomic.t array array;  (* [slot].(idx) = era or none *)
     limbo : 'a node list array;
     limbo_len : int array;
     since_scan : int array;
+    (* Limbo handed off by departed threads, adopted by the next scan. *)
+    mutable orphans : 'a node list;
+    orphan_lock : Mutex.t;
     (* Allocation counter driving era bumps. Plain [Stdlib.Atomic] so that
        prefill (outside any logical thread) can allocate too; the paper
        counts per thread, but only the bump frequency matters. *)
@@ -37,9 +41,11 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     m_scans : Metrics.Counter.t;
     m_scanned : Metrics.Counter.t;
     m_era_advances : Metrics.Counter.t;
+    m_orphaned : Metrics.Counter.t;
+    m_adopted : Metrics.Counter.t;
   }
 
-  type 'a guard = { tid : int; mutable used : int }
+  type 'a guard = { sid : int; mutable used : int }
 
   (* Per-node scheme overhead in modelled bytes: birth and retire eras plus
      the limbo link and length tag (four words). *)
@@ -50,26 +56,32 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       cfg;
       counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
       era = R.Atomic.make 0;
+      reg = Slot_registry.create ~capacity:cfg.max_threads;
       reservations =
         Array.init cfg.max_threads (fun _ ->
             Array.init cfg.hp_indices (fun _ -> R.Atomic.make none));
       limbo = Array.make cfg.max_threads [];
       limbo_len = Array.make cfg.max_threads 0;
       since_scan = Array.make cfg.max_threads 0;
+      orphans = [];
+      orphan_lock = Mutex.create ();
       alloc_clock = Stdlib.Atomic.make 0;
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
       m_era_advances = Metrics.Counter.make "era_advances";
+      m_orphaned = Metrics.Counter.make "orphaned";
+      m_adopted = Metrics.Counter.make "adopted";
     }
 
   let data n =
     Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
     n.payload
 
-  let enter (_ : _ t) = { tid = R.self (); used = 0 }
+  let enter t =
+    { sid = Slot_registry.ensure t.reg ~tid:(R.self ()); used = 0 }
 
   let leave t g =
-    let slots = t.reservations.(g.tid) in
+    let slots = t.reservations.(g.sid) in
     for idx = 0 to g.used - 1 do
       R.Atomic.set slots.(idx) none
     done;
@@ -78,7 +90,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   let protect t g ~idx ~read ~target:_ =
     if idx >= t.cfg.hp_indices then invalid_arg "He.protect: idx out of range";
     if idx >= g.used then g.used <- idx + 1;
-    let slot = t.reservations.(g.tid).(idx) in
+    let slot = t.reservations.(g.sid).(idx) in
     let rec attempt prev =
       R.Atomic.set slot prev;
       let v = read () in
@@ -89,25 +101,72 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   (* Snapshot every published era once (charged), then partition with pure
      interval tests. *)
-  let scan t tid =
-    Metrics.Counter.incr t.m_scans;
-    Metrics.Counter.add t.m_scanned t.limbo_len.(tid);
+  let adopt_orphans t sid =
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let n = List.length os in
+        Metrics.Counter.add t.m_adopted n;
+        t.limbo.(sid) <- os @ t.limbo.(sid);
+        t.limbo_len.(sid) <- t.limbo_len.(sid) + n
+
+  (* Eras published by live (registered) slots only, ascending slot order. *)
+  let published_eras t =
     let eras = ref [] in
-    for tid' = 0 to t.cfg.max_threads - 1 do
-      for idx = 0 to t.cfg.hp_indices - 1 do
-        let r = R.Atomic.get t.reservations.(tid').(idx) in
-        if r <> none then eras := r :: !eras
-      done
-    done;
+    Slot_registry.iter_live t.reg (fun sid ->
+        for idx = 0 to t.cfg.hp_indices - 1 do
+          let r = R.Atomic.get t.reservations.(sid).(idx) in
+          if r <> none then eras := r :: !eras
+        done);
+    !eras
+
+  let scan t sid =
+    Metrics.Counter.incr t.m_scans;
+    adopt_orphans t sid;
+    Metrics.Counter.add t.m_scanned t.limbo_len.(sid);
+    let eras = published_eras t in
     let reserved n =
-      List.exists (fun r -> n.birth <= r && r <= n.retire_era) !eras
+      List.exists (fun r -> n.birth <= r && r <= n.retire_era) eras
     in
-    let keep, free = List.partition reserved t.limbo.(tid) in
-    t.limbo.(tid) <- keep;
-    t.limbo_len.(tid) <- List.length keep;
+    let keep, free = List.partition reserved t.limbo.(sid) in
+    t.limbo.(sid) <- keep;
+    t.limbo_len.(sid) <- List.length keep;
     List.iter
       (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    let s = Slot_registry.register t.reg ~tid in
+    (* Publish the era row empty: hp_indices charged stores. *)
+    let row = t.reservations.(s.Slot_registry.id) in
+    for idx = 0 to t.cfg.hp_indices - 1 do
+      R.Atomic.set row.(idx) none
+    done;
+    s
+
+  let deregister t (s : Slot_registry.slot) =
+    let sid = s.Slot_registry.id in
+    let row = t.reservations.(sid) in
+    for idx = 0 to t.cfg.hp_indices - 1 do
+      R.Atomic.set row.(idx) none
+    done;
+    if t.limbo.(sid) <> [] then scan t sid;
+    (match t.limbo.(sid) with
+    | [] -> ()
+    | survivors ->
+        t.limbo.(sid) <- [];
+        t.limbo_len.(sid) <- 0;
+        Metrics.Counter.add t.m_orphaned (List.length survivors);
+        Mutex.lock t.orphan_lock;
+        t.orphans <- survivors @ t.orphans;
+        Mutex.unlock t.orphan_lock);
+    t.since_scan.(sid) <- 0;
+    Slot_registry.release t.reg s
 
   (* Era bumps happen on allocation, every [era_freq] allocations, as in the
      original HE and in Hyaline-S (Fig. 5, init_node). Budget relief is one
@@ -123,7 +182,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       R.Atomic.incr t.era;
       Metrics.Counter.incr t.m_era_advances
     end;
-    let relieve () = scan t (R.self ()) in
+    let relieve () = scan t (Slot_registry.ensure t.reg ~tid:(R.self ())) in
     {
       payload;
       state =
@@ -136,28 +195,58 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
     n.retire_era <- R.Atomic.get t.era;
-    t.limbo.(g.tid) <- n :: t.limbo.(g.tid);
-    t.limbo_len.(g.tid) <- t.limbo_len.(g.tid) + 1;
-    t.since_scan.(g.tid) <- t.since_scan.(g.tid) + 1;
-    if t.since_scan.(g.tid) >= t.cfg.batch_size then begin
-      t.since_scan.(g.tid) <- 0;
-      scan t g.tid
+    t.limbo.(g.sid) <- n :: t.limbo.(g.sid);
+    t.limbo_len.(g.sid) <- t.limbo_len.(g.sid) + 1;
+    t.since_scan.(g.sid) <- t.since_scan.(g.sid) + 1;
+    if t.since_scan.(g.sid) >= t.cfg.batch_size then begin
+      t.since_scan.(g.sid) <- 0;
+      scan t g.sid
     end
 
   let refresh t g =
     leave t g;
     enter t
 
+  (* Live slots only; orphans with no live adopter are partitioned against
+     the (then empty) published-era set directly. *)
   let flush t =
-    for tid = 0 to t.cfg.max_threads - 1 do
-      scan t tid
-    done
+    Slot_registry.iter_live t.reg (fun sid -> scan t sid);
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let eras = published_eras t in
+        let reserved n =
+          List.exists (fun r -> n.birth <= r && r <= n.retire_era) eras
+        in
+        let keep, free = List.partition reserved os in
+        Metrics.Counter.add t.m_adopted (List.length free);
+        List.iter
+          (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+          free;
+        (match keep with
+        | [] -> ()
+        | _ ->
+            Mutex.lock t.orphan_lock;
+            t.orphans <- keep @ t.orphans;
+            Mutex.unlock t.orphan_lock)
 
   let stats t = Lifecycle.stats t.counters
 
   let metrics t =
     Lifecycle.snapshot ~scheme:scheme_name
       ~series:
-        (Metrics.series_of [ t.m_scans; t.m_scanned; t.m_era_advances ])
+        (Metrics.series_of
+           [
+             t.m_scans;
+             t.m_scanned;
+             t.m_era_advances;
+             t.m_orphaned;
+             t.m_adopted;
+           ]
+        @ Slot_registry.series t.reg)
       t.counters
 end

@@ -19,14 +19,20 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   type 'a t = {
     cfg : Smr_intf.config;
     counters : Lifecycle.counters;
-    hazards : 'a node option R.Atomic.t array array;  (* [tid].(idx) *)
+    reg : Slot_registry.t;
+    hazards : 'a node option R.Atomic.t array array;  (* [slot].(idx) *)
     limbo : 'a node list array;
     limbo_len : int array;
+    (* Limbo handed off by departed threads, adopted by the next scan. *)
+    mutable orphans : 'a node list;
+    orphan_lock : Mutex.t;
     m_scans : Metrics.Counter.t;
     m_scanned : Metrics.Counter.t;
+    m_orphaned : Metrics.Counter.t;
+    m_adopted : Metrics.Counter.t;
   }
 
-  type 'a guard = { tid : int; mutable used : int  (* highest idx + 1 *) }
+  type 'a guard = { sid : int; mutable used : int  (* highest idx + 1 *) }
 
   (* Per-node scheme overhead in modelled bytes: the limbo link plus the
      hazard record the node may occupy (two words). *)
@@ -36,23 +42,29 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     {
       cfg;
       counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
+      reg = Slot_registry.create ~capacity:cfg.max_threads;
       hazards =
         Array.init cfg.max_threads (fun _ ->
             Array.init cfg.hp_indices (fun _ -> R.Atomic.make None));
       limbo = Array.make cfg.max_threads [];
       limbo_len = Array.make cfg.max_threads 0;
+      orphans = [];
+      orphan_lock = Mutex.create ();
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
+      m_orphaned = Metrics.Counter.make "orphaned";
+      m_adopted = Metrics.Counter.make "adopted";
     }
 
   let data n =
     Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
     n.payload
 
-  let enter (_ : _ t) = { tid = R.self (); used = 0 }
+  let enter t =
+    { sid = Slot_registry.ensure t.reg ~tid:(R.self ()); used = 0 }
 
   let leave t g =
-    let slots = t.hazards.(g.tid) in
+    let slots = t.hazards.(g.sid) in
     for idx = 0 to g.used - 1 do
       R.Atomic.set slots.(idx) None
     done;
@@ -61,7 +73,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   let protect t g ~idx ~read ~target =
     if idx >= t.cfg.hp_indices then invalid_arg "Hp.protect: idx out of range";
     if idx >= g.used then g.used <- idx + 1;
-    let slot = t.hazards.(g.tid).(idx) in
+    let slot = t.hazards.(g.sid).(idx) in
     let rec attempt () =
       let v = read () in
       match target v with
@@ -79,24 +91,73 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   (* One pass over all published hazards (the charged O(mn) reads of
      Table 1), then a pure membership test per limbo node. *)
-  let scan t tid =
-    Metrics.Counter.incr t.m_scans;
-    Metrics.Counter.add t.m_scanned t.limbo_len.(tid);
+  let adopt_orphans t sid =
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let n = List.length os in
+        Metrics.Counter.add t.m_adopted n;
+        t.limbo.(sid) <- os @ t.limbo.(sid);
+        t.limbo_len.(sid) <- t.limbo_len.(sid) + n
+
+  (* Hazards of live (registered) slots only, in ascending slot order: the
+     charged reads shrink from max_threads x hp_indices to the number of
+     threads actually present. *)
+  let published_hazards t =
     let published = ref [] in
-    for tid' = 0 to t.cfg.max_threads - 1 do
-      for idx = 0 to t.cfg.hp_indices - 1 do
-        match R.Atomic.get t.hazards.(tid').(idx) with
-        | Some h -> published := h :: !published
-        | None -> ()
-      done
-    done;
-    let hazarded n = List.memq n !published in
-    let keep, free = List.partition hazarded t.limbo.(tid) in
-    t.limbo.(tid) <- keep;
-    t.limbo_len.(tid) <- List.length keep;
+    Slot_registry.iter_live t.reg (fun sid ->
+        for idx = 0 to t.cfg.hp_indices - 1 do
+          match R.Atomic.get t.hazards.(sid).(idx) with
+          | Some h -> published := h :: !published
+          | None -> ()
+        done);
+    !published
+
+  let scan t sid =
+    Metrics.Counter.incr t.m_scans;
+    adopt_orphans t sid;
+    Metrics.Counter.add t.m_scanned t.limbo_len.(sid);
+    let published = published_hazards t in
+    let hazarded n = List.memq n published in
+    let keep, free = List.partition hazarded t.limbo.(sid) in
+    t.limbo.(sid) <- keep;
+    t.limbo_len.(sid) <- List.length keep;
     List.iter
       (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    let s = Slot_registry.register t.reg ~tid in
+    (* Publish the hazard row empty: hp_indices charged stores, the
+       per-thread registration cost Table 1 implies for HP. *)
+    let row = t.hazards.(s.Slot_registry.id) in
+    for idx = 0 to t.cfg.hp_indices - 1 do
+      R.Atomic.set row.(idx) None
+    done;
+    s
+
+  let deregister t (s : Slot_registry.slot) =
+    let sid = s.Slot_registry.id in
+    let row = t.hazards.(sid) in
+    for idx = 0 to t.cfg.hp_indices - 1 do
+      R.Atomic.set row.(idx) None
+    done;
+    if t.limbo.(sid) <> [] then scan t sid;
+    (match t.limbo.(sid) with
+    | [] -> ()
+    | survivors ->
+        t.limbo.(sid) <- [];
+        t.limbo_len.(sid) <- 0;
+        Metrics.Counter.add t.m_orphaned (List.length survivors);
+        Mutex.lock t.orphan_lock;
+        t.orphans <- survivors @ t.orphans;
+        Mutex.unlock t.orphan_lock);
+    Slot_registry.release t.reg s
 
   (* Budget relief: one own-thread scan — frees everything except the few
      nodes pinned by published hazards, so HP degrades gracefully. *)
@@ -106,28 +167,52 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       + Option.value bytes ~default:t.cfg.Smr_intf.node_bytes
     in
     R.alloc_point ~bytes;
-    let relieve () = scan t (R.self ()) in
+    let relieve () = scan t (Slot_registry.ensure t.reg ~tid:(R.self ())) in
     { payload; state = Lifecycle.on_alloc ~bytes ~relieve ~scheme:scheme_name t.counters }
 
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
-    t.limbo.(g.tid) <- n :: t.limbo.(g.tid);
-    t.limbo_len.(g.tid) <- t.limbo_len.(g.tid) + 1;
-    if t.limbo_len.(g.tid) >= t.cfg.batch_size then scan t g.tid
+    t.limbo.(g.sid) <- n :: t.limbo.(g.sid);
+    t.limbo_len.(g.sid) <- t.limbo_len.(g.sid) + 1;
+    if t.limbo_len.(g.sid) >= t.cfg.batch_size then scan t g.sid
 
   let refresh t g =
     leave t g;
     enter t
 
+  (* Live slots only. If none is live the orphans had no adopter: with no
+     published hazard anywhere, partition them directly. *)
   let flush t =
-    for tid = 0 to t.cfg.max_threads - 1 do
-      scan t tid
-    done
+    Slot_registry.iter_live t.reg (fun sid -> scan t sid);
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let published = published_hazards t in
+        let keep, free =
+          List.partition (fun n -> List.memq n published) os
+        in
+        Metrics.Counter.add t.m_adopted (List.length free);
+        List.iter
+          (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+          free;
+        (match keep with
+        | [] -> ()
+        | _ ->
+            Mutex.lock t.orphan_lock;
+            t.orphans <- keep @ t.orphans;
+            Mutex.unlock t.orphan_lock)
 
   let stats t = Lifecycle.stats t.counters
 
   let metrics t =
     Lifecycle.snapshot ~scheme:scheme_name
-      ~series:(Metrics.series_of [ t.m_scans; t.m_scanned ])
+      ~series:
+        (Metrics.series_of
+           [ t.m_scans; t.m_scanned; t.m_orphaned; t.m_adopted ]
+        @ Slot_registry.series t.reg)
       t.counters
 end

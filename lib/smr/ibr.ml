@@ -28,18 +28,24 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     cfg : Smr_intf.config;
     counters : Lifecycle.counters;
     era : int R.Atomic.t;
-    lower : int R.Atomic.t array;
+    reg : Slot_registry.t;
+    lower : int R.Atomic.t array;  (* slot-indexed *)
     upper : int R.Atomic.t array;
     limbo : 'a node list array;
     limbo_len : int array;
     since_scan : int array;
+    (* Limbo handed off by departed threads, adopted by the next scan. *)
+    mutable orphans : 'a node list;
+    orphan_lock : Mutex.t;
     alloc_clock : int Stdlib.Atomic.t;
     m_scans : Metrics.Counter.t;
     m_scanned : Metrics.Counter.t;
     m_era_advances : Metrics.Counter.t;
+    m_orphaned : Metrics.Counter.t;
+    m_adopted : Metrics.Counter.t;
   }
 
-  type 'a guard = { tid : int }
+  type 'a guard = { sid : int }
 
   (* Per-node scheme overhead in modelled bytes: birth and retire eras plus
      the limbo link and length tag (four words). *)
@@ -50,15 +56,20 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       cfg;
       counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
       era = R.Atomic.make 0;
+      reg = Slot_registry.create ~capacity:cfg.max_threads;
       lower = Array.init cfg.max_threads (fun _ -> R.Atomic.make none);
       upper = Array.init cfg.max_threads (fun _ -> R.Atomic.make none);
       limbo = Array.make cfg.max_threads [];
       limbo_len = Array.make cfg.max_threads 0;
       since_scan = Array.make cfg.max_threads 0;
+      orphans = [];
+      orphan_lock = Mutex.create ();
       alloc_clock = Stdlib.Atomic.make 0;
       m_scans = Metrics.Counter.make "scans";
       m_scanned = Metrics.Counter.make "scanned_nodes";
       m_era_advances = Metrics.Counter.make "era_advances";
+      m_orphaned = Metrics.Counter.make "orphaned";
+      m_adopted = Metrics.Counter.make "adopted";
     }
 
   let data n =
@@ -66,15 +77,15 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     n.payload
 
   let enter t =
-    let tid = R.self () in
+    let sid = Slot_registry.ensure t.reg ~tid:(R.self ()) in
     let e = R.Atomic.get t.era in
-    R.Atomic.set t.lower.(tid) e;
-    R.Atomic.set t.upper.(tid) e;
-    { tid }
+    R.Atomic.set t.lower.(sid) e;
+    R.Atomic.set t.upper.(sid) e;
+    { sid }
 
   let leave t g =
-    R.Atomic.set t.lower.(g.tid) none;
-    R.Atomic.set t.upper.(g.tid) none
+    R.Atomic.set t.lower.(g.sid) none;
+    R.Atomic.set t.upper.(g.sid) none
 
   (* 2GE dereference: raise the upper reservation until it covers the era at
      which the pointer was read, re-reading on each raise. *)
@@ -82,9 +93,9 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     let rec attempt () =
       let v = read () in
       let e = R.Atomic.get t.era in
-      if R.Atomic.get t.upper.(g.tid) >= e then v
+      if R.Atomic.get t.upper.(g.sid) >= e then v
       else begin
-        R.Atomic.set t.upper.(g.tid) e;
+        R.Atomic.set t.upper.(g.sid) e;
         attempt ()
       end
     in
@@ -92,26 +103,71 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   (* Snapshot every reservation interval once (charged O(n) reads), then
      partition with pure interval-overlap tests. *)
-  let scan t tid =
-    Metrics.Counter.incr t.m_scans;
-    Metrics.Counter.add t.m_scanned t.limbo_len.(tid);
+  let adopt_orphans t sid =
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let n = List.length os in
+        Metrics.Counter.add t.m_adopted n;
+        t.limbo.(sid) <- os @ t.limbo.(sid);
+        t.limbo_len.(sid) <- t.limbo_len.(sid) + n
+
+  (* Intervals published by live (registered) slots only, ascending slot
+     order. *)
+  let published_intervals t =
     let intervals = ref [] in
-    for tid' = 0 to t.cfg.max_threads - 1 do
-      let lo = R.Atomic.get t.lower.(tid') in
-      let hi = R.Atomic.get t.upper.(tid') in
-      if lo <> none then intervals := (lo, hi) :: !intervals
-    done;
+    Slot_registry.iter_live t.reg (fun sid ->
+        let lo = R.Atomic.get t.lower.(sid) in
+        let hi = R.Atomic.get t.upper.(sid) in
+        if lo <> none then intervals := (lo, hi) :: !intervals);
+    !intervals
+
+  let scan t sid =
+    Metrics.Counter.incr t.m_scans;
+    adopt_orphans t sid;
+    Metrics.Counter.add t.m_scanned t.limbo_len.(sid);
+    let intervals = published_intervals t in
     let reserved n =
       List.exists
         (fun (lo, hi) -> lo <= n.retire_era && n.birth <= hi)
-        !intervals
+        intervals
     in
-    let keep, free = List.partition reserved t.limbo.(tid) in
-    t.limbo.(tid) <- keep;
-    t.limbo_len.(tid) <- List.length keep;
+    let keep, free = List.partition reserved t.limbo.(sid) in
+    t.limbo.(sid) <- keep;
+    t.limbo_len.(sid) <- List.length keep;
     List.iter
       (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
       free
+
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    let s = Slot_registry.register t.reg ~tid in
+    (* Publish the empty interval: two charged stores. *)
+    let sid = s.Slot_registry.id in
+    R.Atomic.set t.lower.(sid) none;
+    R.Atomic.set t.upper.(sid) none;
+    s
+
+  let deregister t (s : Slot_registry.slot) =
+    let sid = s.Slot_registry.id in
+    R.Atomic.set t.lower.(sid) none;
+    R.Atomic.set t.upper.(sid) none;
+    if t.limbo.(sid) <> [] then scan t sid;
+    (match t.limbo.(sid) with
+    | [] -> ()
+    | survivors ->
+        t.limbo.(sid) <- [];
+        t.limbo_len.(sid) <- 0;
+        Metrics.Counter.add t.m_orphaned (List.length survivors);
+        Mutex.lock t.orphan_lock;
+        t.orphans <- survivors @ t.orphans;
+        Mutex.unlock t.orphan_lock);
+    t.since_scan.(sid) <- 0;
+    Slot_registry.release t.reg s
 
   (* Era clock as in HE; budget relief is one own-thread scan — frozen
      reservation intervals pin only overlapping lifespans, so IBR sheds
@@ -127,7 +183,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
       R.Atomic.incr t.era;
       Metrics.Counter.incr t.m_era_advances
     end;
-    let relieve () = scan t (R.self ()) in
+    let relieve () = scan t (Slot_registry.ensure t.reg ~tid:(R.self ())) in
     {
       payload;
       state =
@@ -140,28 +196,60 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
     n.retire_era <- R.Atomic.get t.era;
-    t.limbo.(g.tid) <- n :: t.limbo.(g.tid);
-    t.limbo_len.(g.tid) <- t.limbo_len.(g.tid) + 1;
-    t.since_scan.(g.tid) <- t.since_scan.(g.tid) + 1;
-    if t.since_scan.(g.tid) >= t.cfg.batch_size then begin
-      t.since_scan.(g.tid) <- 0;
-      scan t g.tid
+    t.limbo.(g.sid) <- n :: t.limbo.(g.sid);
+    t.limbo_len.(g.sid) <- t.limbo_len.(g.sid) + 1;
+    t.since_scan.(g.sid) <- t.since_scan.(g.sid) + 1;
+    if t.since_scan.(g.sid) >= t.cfg.batch_size then begin
+      t.since_scan.(g.sid) <- 0;
+      scan t g.sid
     end
 
   let refresh t g =
     leave t g;
     enter t
 
+  (* Live slots only; orphans with no live adopter are partitioned against
+     the (then empty) published-interval set directly. *)
   let flush t =
-    for tid = 0 to t.cfg.max_threads - 1 do
-      scan t tid
-    done
+    Slot_registry.iter_live t.reg (fun sid -> scan t sid);
+    Mutex.lock t.orphan_lock;
+    let os = t.orphans in
+    t.orphans <- [];
+    Mutex.unlock t.orphan_lock;
+    match os with
+    | [] -> ()
+    | _ ->
+        let intervals = published_intervals t in
+        let reserved n =
+          List.exists
+            (fun (lo, hi) -> lo <= n.retire_era && n.birth <= hi)
+            intervals
+        in
+        let keep, free = List.partition reserved os in
+        Metrics.Counter.add t.m_adopted (List.length free);
+        List.iter
+          (fun n -> Lifecycle.on_free ~scheme:scheme_name n.state t.counters)
+          free;
+        (match keep with
+        | [] -> ()
+        | _ ->
+            Mutex.lock t.orphan_lock;
+            t.orphans <- keep @ t.orphans;
+            Mutex.unlock t.orphan_lock)
 
   let stats t = Lifecycle.stats t.counters
 
   let metrics t =
     Lifecycle.snapshot ~scheme:scheme_name
       ~series:
-        (Metrics.series_of [ t.m_scans; t.m_scanned; t.m_era_advances ])
+        (Metrics.series_of
+           [
+             t.m_scans;
+             t.m_scanned;
+             t.m_era_advances;
+             t.m_orphaned;
+             t.m_adopted;
+           ]
+        @ Slot_registry.series t.reg)
       t.counters
 end

@@ -9,14 +9,27 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   module R = R
 
   type 'a node = { payload : 'a; state : Lifecycle.cell }
-  type 'a t = { cfg : Smr_intf.config; counters : Lifecycle.counters }
+
+  type 'a t = {
+    cfg : Smr_intf.config;
+    counters : Lifecycle.counters;
+    (* Leaky keeps no per-thread state at all, but it still carries a slot
+       registry so the lifecycle API is uniform across schemes; join and
+       leave are pure bookkeeping with zero charged operations. *)
+    reg : Slot_registry.t;
+  }
+
   type 'a guard = unit
 
   (* Leaky nodes still carry a modelled link word. *)
   let node_overhead_bytes = 8
 
   let create (cfg : Smr_intf.config) =
-    { cfg; counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) () }
+    {
+      cfg;
+      counters = Lifecycle.make_counters ~mem:(Smr_intf.mem_config cfg) ();
+      reg = Slot_registry.create ~capacity:cfg.max_threads;
+    }
 
   (* No relief possible: Leaky never reclaims, so a configured byte budget
      is simply a countdown to the simulated OOM. *)
@@ -32,6 +45,11 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     Lifecycle.check_not_freed ~scheme:scheme_name ~what:"data" n.state;
     n.payload
 
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    Slot_registry.register t.reg ~tid
+
+  let deregister t s = Slot_registry.release t.reg s
   let enter (_ : _ t) = ()
   let leave (_ : _ t) () = ()
 
@@ -49,6 +67,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   let metrics t =
     let s = Lifecycle.stats t.counters in
     Lifecycle.snapshot ~scheme:scheme_name
-      ~series:[ ("leaked", Smr_intf.unreclaimed s) ]
+      ~series:
+        (("leaked", Smr_intf.unreclaimed s) :: Slot_registry.series t.reg)
       t.counters
 end

@@ -70,6 +70,11 @@ let mem_config (cfg : config) : Mem.Mem_intf.config =
     budget_bytes = cfg.budget_bytes;
   }
 
+type slot = Slot_registry.slot = { id : int; gen : int; tid : int }
+(** A registered thread's dense per-thread slot (see {!Slot_registry}):
+    the index into the scheme's per-thread arrays, generation-stamped so a
+    recycled slot's previous occupant cannot deregister the new one. *)
+
 (** Signature implemented by every scheme: Leaky, EBR, HP, HE, IBR and the
     four Hyaline variants. *)
 module type SMR = sig
@@ -103,6 +108,29 @@ module type SMR = sig
 
   val data : 'a node -> 'a
   (** Payload access; raises {!Use_after_free} on a freed node. *)
+
+  val register : ?tid:int -> 'a t -> slot
+  (** Join the scheme: acquire a dense per-thread slot (recycled from
+      departed threads when possible) and publish whatever per-thread
+      state the scheme scans — cleared reservation cells for EBR/HP/HE/
+      IBR, {e nothing at all} for the Hyaline engines and Leaky, whose
+      registration is pure registry bookkeeping with zero charged
+      operations (the §2.4 transparency claim, machine-checked by the
+      churn experiment). [tid] defaults to the calling thread
+      ([R.self ()]); pass it explicitly to pre-register threads from
+      outside a simulated run. Registering an already-registered thread
+      or exceeding [config.max_threads] concurrent registrations raises
+      [Invalid_argument]. Threads that call {!enter} without registering
+      are registered implicitly (bookkeeping only) and never leave. *)
+
+  val deregister : 'a t -> slot -> unit
+  (** Leave the scheme: clear the slot's published state, attempt one
+      final own-slot scan, hand any still-unreclaimable limbo nodes to
+      the scheme's global orphan list (adopted by the next scan — the
+      DEBRA handoff problem, visible as the [orphaned]/[adopted] metric
+      series), and release the slot for recycling. Must be called
+      outside any [enter]/[leave] bracket. Raises [Invalid_argument] on
+      a stale or doubly-deregistered slot. *)
 
   val enter : 'a t -> 'a guard
   (** Begin an operation on the structure. The guard is only valid on the

@@ -14,17 +14,25 @@ open Test_support
 (* -- the conformance matrix ---------------------------------------------- *)
 
 (* Every scheme in lib/smr + lib/hyaline x every structure in lib/ds x
-   {dfs, random, pct}: no cell may report a violation, and the grid must
-   actually have the advertised extent (a registry regression would
-   silently shrink the sweep). *)
+   {dfs, random, pct} x {static, churn}: no cell may report a violation,
+   and the grid must actually have the advertised extent (a registry
+   regression would silently shrink the sweep). The churn column runs the
+   same program with every thread register/deregistering around its
+   operations, so join/leave, orphan handoff and slot recycling are
+   explored adversarially too. *)
 let test_matrix () =
   let cells = Verify.run_matrix ~seed:0 () in
   let n_schemes = List.length Verify.schemes
   and n_structures = List.length Verify.structures in
   Alcotest.(check int)
     "grid extent"
-    (n_schemes * n_structures * 3)
+    (n_schemes * n_structures * 3 * 2)
     (List.length cells);
+  let churn_cells = List.filter (fun c -> c.Verify.c_churn) cells in
+  Alcotest.(check int)
+    "half the grid is churn-mode"
+    (List.length cells / 2)
+    (List.length churn_cells);
   Alcotest.(check bool) "at least 11 schemes" true (n_schemes >= 11);
   Alcotest.(check int) "7 structures" 7 n_structures;
   (* Bonsai x {HP, HE} are the only exclusions, in all three modes. *)
@@ -34,7 +42,7 @@ let test_matrix () =
         match c.Verify.c_verdict with Verify.Skipped _ -> true | _ -> false)
       cells
   in
-  Alcotest.(check int) "skips are exactly Bonsai x {HP,HE}" 6
+  Alcotest.(check int) "skips are exactly Bonsai x {HP,HE}" 12
     (List.length skipped);
   List.iter
     (fun c ->
@@ -48,10 +56,11 @@ let test_matrix () =
       match c.Verify.c_verdict with
       | Verify.Fail { message; shrunk; _ } ->
           Alcotest.fail
-            (Printf.sprintf "%s/%s/%s: %s (shrunk schedule [%s])"
+            (Printf.sprintf "%s/%s/%s%s: %s (shrunk schedule [%s])"
                c.Verify.c_scheme
                (Verify.structure_name c.Verify.c_structure)
                (Verify.mode_name c.Verify.c_mode)
+               (if c.Verify.c_churn then "/churn" else "")
                message
                (String.concat ";" (List.map string_of_int shrunk)))
       | _ -> assert false)

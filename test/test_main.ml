@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hyaline"
     [
       ("runtime", Test_runtime.suite);
+      ("lifecycle", Test_lifecycle.suite);
       ("smr", Test_smr.suite);
       ("hyaline", Test_hyaline.suite);
       ("ds", Test_ds.suite);

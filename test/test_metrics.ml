@@ -160,7 +160,9 @@ let test_tracer_events () =
     | Sched.Ev_finish { at; _ }
     | Sched.Ev_suspend { at; _ }
     | Sched.Ev_resume { at; _ }
-    | Sched.Ev_kill { at; _ } -> at
+    | Sched.Ev_kill { at; _ }
+    | Sched.Ev_join { at; _ }
+    | Sched.Ev_leave { at; _ } -> at
   in
   let rec monotone = function
     | a :: (b :: _ as rest) -> at a <= at b && monotone rest
@@ -216,6 +218,21 @@ let test_report_roundtrip () =
     "allocations happened" true
     (p.Report.p_mem.Mem.Mem_intf.fresh_allocs > 0
     && p.Report.p_mem.Mem.Mem_intf.bytes_hwm > 0);
+  (* Schema v3: the registration section is present in every point and
+     mirrors the scheme's slot-registry series. *)
+  let sv k =
+    Option.value ~default:0
+      (Smr.Metrics.series_value r.Workload.metrics k)
+  in
+  Alcotest.(check int) "registered survives" (sv "registered")
+    p.Report.p_registration.Report.pr_registered;
+  Alcotest.(check int) "slot reuses survive" (sv "slot_reuses")
+    p.Report.p_registration.Report.pr_slot_reuses;
+  Alcotest.(check bool)
+    "static runs registered their threads" true
+    (p.Report.p_registration.Report.pr_registered > 0);
+  Alcotest.(check bool) "no churn section without churn" true
+    (p.Report.p_churn = None);
   (* Coverage checking must actually bite. *)
   (match Report.validate ~schemes:[ "Hyaline"; "Epoch" ] parsed with
   | Ok () -> Alcotest.fail "missing scheme not detected"
@@ -223,6 +240,39 @@ let test_report_roundtrip () =
   match Report.parse (Json.of_string "{\"schema_version\": 99}") with
   | _ -> Alcotest.fail "bad schema_version not detected"
   | exception Json.Parse_error _ -> ()
+
+(* A churn run's report point carries the full churn section through the
+   emit -> parse round trip (the schema-v3 satellite). *)
+let test_report_churn_roundtrip () =
+  let ch = { Workload.sessions = 24; session_ops = 2; lanes = 4 } in
+  let cell =
+    Smr_harness.Plan.cell ~churn:ch ~budget:100_000 ~seed:5 ~scheme:"Epoch"
+      ~structure:Smr_harness.Registry.Hashmap ~threads:2 ()
+  in
+  let r = Smr_harness.Executor.run_cell_exn cell in
+  let report =
+    {
+      Report.name = "unit-churn";
+      arch = Smr_harness.Registry.X86;
+      points =
+        [ { Report.scheme = "Epoch"; structure = "hashmap"; threads = 2; r } ];
+    }
+  in
+  let parsed = Report.parse (Json.of_string (Json.to_string (Report.to_json report))) in
+  let p = List.hd parsed.Report.p_points in
+  match (r.Workload.churn, p.Report.p_churn) with
+  | Some c, Some pc ->
+      Alcotest.(check int) "joins survive" c.Workload.c_joins
+        pc.Report.pc_joins;
+      Alcotest.(check int) "leaves survive" c.Workload.c_leaves
+        pc.Report.pc_leaves;
+      Alcotest.(check int) "reuses survive" c.Workload.c_reuses
+        pc.Report.pc_slot_reuses;
+      Alcotest.(check int) "backlog survives" c.Workload.c_orphan_backlog
+        pc.Report.pc_orphan_backlog;
+      Alcotest.(check (float 1e-9)) "reuse latency survives"
+        c.Workload.c_avg_reuse_latency pc.Report.pc_avg_reuse_latency
+  | _ -> Alcotest.fail "churn section missing from report point"
 
 let test_histogram () =
   let h = Histogram.create () in
@@ -334,6 +384,8 @@ let suite =
     Alcotest.test_case "quiescent flush" `Quick test_quiescent_flush;
     Alcotest.test_case "scheduler tracer" `Quick test_tracer_events;
     Alcotest.test_case "report json round trip" `Quick test_report_roundtrip;
+    Alcotest.test_case "report-churn-roundtrip" `Quick
+      test_report_churn_roundtrip;
     Alcotest.test_case "json large report" `Quick test_json_large_report;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;

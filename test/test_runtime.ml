@@ -152,6 +152,8 @@ let trace_line buf ev =
   | Sched.Ev_suspend { tid; at } -> p "p%d@%d;" tid at
   | Sched.Ev_resume { tid; at } -> p "r%d@%d;" tid at
   | Sched.Ev_kill { tid; at } -> p "k%d@%d;" tid at
+  | Sched.Ev_join { tid; at } -> p "J%d@%d;" tid at
+  | Sched.Ev_leave { tid; at } -> p "L%d@%d;" tid at
 
 (* A pinned mixed-op scenario touching every op class, a self-stalling
    thread, fault-injection suspend/resume, and a budget-bounded prefix. *)

@@ -59,6 +59,17 @@ dune exec bin/figures.exe -- footprint --cache-dir "$tmpdir/cache" \
 grep -q "footprint verdict: robust contrast ok" "$tmpdir/footprint.log" || {
   echo "footprint smoke: robustness contrast lost"; cat "$tmpdir/footprint.log"; exit 1; }
 
+# Churn smoke: the thread-churn sweep must reproduce the paper's
+# transparency claim (§2.4) — Hyaline's register/deregister charges
+# nothing while every registration scheme pays per churn — with thousands
+# of join/leave events and zero orphaned retirees leaked at quiescence.
+# The driver prints a one-line machine-checked verdict for exactly this.
+echo "==> churn smoke run"
+dune exec bin/figures.exe -- churn --cache-dir "$tmpdir/cache" \
+  >"$tmpdir/churn.log"
+grep -q "churn verdict: transparent ok" "$tmpdir/churn.log" || {
+  echo "churn smoke: transparency verdict lost"; cat "$tmpdir/churn.log"; exit 1; }
+
 # Budgeted adversarial verification: the full scheme x structure matrix
 # under sleep-set DFS, random walks and PCT, plus the stall-injection
 # robustness probes — fixed seeds, smoke budgets (the whole sweep is a
@@ -72,8 +83,16 @@ dune exec bin/figures.exe -- verify --smoke --seed 0 --trace-dir "$tmpdir"
 # Wall-clock rates are machine-dependent, so this stage fails only on hard
 # errors (a section crashing or the report not appearing); the steps/sec
 # lines land in the CI log, where regressions are visible across runs.
+# The scan section is deterministic, though: live-slot iteration means a
+# flush at 2 registered threads costs the same at capacity 144 as at
+# capacity 2, so the printed ratio must be exactly 1.00.
 echo "==> selfbench smoke run"
-dune exec bench/selfbench.exe -- --smoke --out "$tmpdir" --name smoke
+dune exec bench/selfbench.exe -- --smoke --out "$tmpdir" --name smoke \
+  >"$tmpdir/selfbench.log"
+cat "$tmpdir/selfbench.log"
 test -s "$tmpdir/BENCH_smoke.json"
+grep -q "ratio 1.00" "$tmpdir/selfbench.log" || {
+  echo "selfbench smoke: live-slot scan cost no longer capacity-independent"
+  exit 1; }
 
 echo "==> all checks passed"

@@ -32,6 +32,18 @@ let cache_term =
   in
   Term.(const (fun no dir -> if no then None else Some dir) $ no_cache $ dir)
 
+let domains_term =
+  let d =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Fan the sweep out across $(docv) worker domains. Results, \
+             failure rows and cache files are byte-identical to a \
+             sequential run; only progress-line order differs.")
+  in
+  Term.(const (fun n -> if n > 1 then Some n else None) $ d)
+
 let progress_term =
   let p =
     Arg.(
@@ -66,12 +78,14 @@ let profile_report profile =
   if profile then Fmt.epr "%a" Smr_harness.Profile.pp ()
 
 let fig_cmd name doc driver =
-  let run profile cache on_progress scale =
-    driver ?cache ?on_progress Fmt.stdout ~scale;
+  let run profile domains cache on_progress scale =
+    driver ?domains ?cache ?on_progress Fmt.stdout ~scale;
     profile_report profile
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ profile_term $ cache_term $ progress_term $ scale_term)
+    Term.(
+      const run $ profile_term $ domains_term $ cache_term $ progress_term
+      $ scale_term)
 
 let ds_conv =
   Arg.enum
@@ -190,9 +204,10 @@ let bench_cmd =
       value & opt (some string) None
       & info [ "o"; "output-dir" ] ~doc:"Directory for the report file.")
   in
-  let run name structures thread_counts dir profile cache on_progress scale =
+  let run name structures thread_counts dir profile domains cache on_progress
+      scale =
     let report, stats =
-      Smr_harness.Report.collect ?cache ?on_progress ~name
+      Smr_harness.Report.collect ?domains ?cache ?on_progress ~name
         ~arch:Registry.X86 ~scale ~structures ~thread_counts ()
     in
     let extra =
@@ -221,7 +236,7 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ name_t $ structures $ thread_counts $ dir $ profile_term
-      $ cache_term $ progress_term $ scale_term)
+      $ domains_term $ cache_term $ progress_term $ scale_term)
 
 let verify_cmd =
   let doc =
@@ -417,6 +432,52 @@ let verify_cmd =
       const run $ mode_t $ seed_t $ trace_dir_t $ smoke_t $ replay_t
       $ scale_term)
 
+let parity_cmd =
+  let doc =
+    "Cross-validate the simulator against the native runtime: run the full \
+     scheme x structure matrix on real domains (watchdog-guarded), compare \
+     the relative scheme orderings (throughput rank, peak-unreclaimed \
+     rank) on a pinned ladder, print a machine-checked verdict, and \
+     optionally write BENCH_native.json."
+  in
+  let domains_t =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains per native cell (also the sim thread count).")
+  in
+  let reps_t =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"R"
+          ~doc:
+            "Native repetitions per ladder cell; the median ops/sec is \
+             ranked, damping wall-clock noise.")
+  in
+  let dir_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output-dir" ]
+          ~doc:"Write (and round-trip validate) BENCH_native.json here.")
+  in
+  let run domains reps out profile cache on_progress scale =
+    let verdict =
+      Smr_harness.Parity.run ?cache ?on_progress ?out ~domains ~reps
+        Fmt.stdout ~scale
+    in
+    profile_report profile;
+    if not verdict.Smr_harness.Parity.v_agree then exit 1
+  in
+  Cmd.v (Cmd.info "parity" ~doc)
+    Term.(
+      const run $ domains_t $ reps_t $ dir_t $ profile_term $ cache_term
+      $ progress_term $ scale_term)
+
+(* Must come first: if this process is a re-exec'd native-cell worker
+   (see Native_workload.guard_main), it runs the cell and exits instead
+   of parsing the command line. *)
+let () = Smr_harness.Native_workload.guard_main ()
+
 let () =
   let open Smr_harness.Figures in
   let cmds =
@@ -438,6 +499,7 @@ let () =
         Term.(const (fun () -> table1 Fmt.stdout) $ const ());
       point_cmd;
       bench_cmd;
+      parity_cmd;
       verify_cmd;
     ]
   in

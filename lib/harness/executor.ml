@@ -93,6 +93,36 @@ let mem_stats_of_json j : Mem.Mem_intf.stats =
     oom_failures = i "oom_failures";
   }
 
+let metrics_to_json (m : Smr.Metrics.snapshot) =
+  Json.Obj
+    [
+      ("scheme", Json.String m.Smr.Metrics.scheme);
+      ("allocated", Json.Int m.Smr.Metrics.allocated);
+      ("retired", Json.Int m.Smr.Metrics.retired);
+      ("freed", Json.Int m.Smr.Metrics.freed);
+      ("peak_unreclaimed", Json.Int m.Smr.Metrics.peak_unreclaimed);
+      ( "series",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series)
+      );
+      ("mem", mem_stats_to_json m.Smr.Metrics.mem);
+    ]
+
+let metrics_of_json metrics : Smr.Metrics.snapshot =
+  let open Json in
+  let i k v = to_int (member_exn k v) in
+  {
+    Smr.Metrics.scheme = to_str (member_exn "scheme" metrics);
+    allocated = i "allocated" metrics;
+    retired = i "retired" metrics;
+    freed = i "freed" metrics;
+    peak_unreclaimed = i "peak_unreclaimed" metrics;
+    series =
+      List.map
+        (fun (k, v) -> (k, to_int v))
+        (to_obj (member_exn "series" metrics));
+    mem = mem_stats_of_json (member_exn "mem" metrics);
+  }
+
 let sample_to_json (s : Workload.sample) =
   Json.Obj
     [
@@ -151,20 +181,7 @@ let result_to_json (r : Workload.result) : Json.t =
             ("retired", Json.Int r.Workload.final.Smr.Metrics.retired);
             ("freed", Json.Int r.Workload.final.Smr.Metrics.freed);
           ] );
-      ( "metrics",
-        Json.Obj
-          [
-            ("scheme", Json.String m.Smr.Metrics.scheme);
-            ("allocated", Json.Int m.Smr.Metrics.allocated);
-            ("retired", Json.Int m.Smr.Metrics.retired);
-            ("freed", Json.Int m.Smr.Metrics.freed);
-            ("peak_unreclaimed", Json.Int m.Smr.Metrics.peak_unreclaimed);
-            ( "series",
-              Json.Obj
-                (List.map (fun (k, v) -> (k, Json.Int v)) m.Smr.Metrics.series)
-            );
-            ("mem", mem_stats_to_json m.Smr.Metrics.mem);
-          ] );
+      ("metrics", metrics_to_json m);
       ( "latency",
         Json.Obj
           [
@@ -204,19 +221,7 @@ let result_of_json j : Workload.result =
         retired = i "retired" final;
         freed = i "freed" final;
       };
-    metrics =
-      {
-        Smr.Metrics.scheme = to_str (member_exn "scheme" metrics);
-        allocated = i "allocated" metrics;
-        retired = i "retired" metrics;
-        freed = i "freed" metrics;
-        peak_unreclaimed = i "peak_unreclaimed" metrics;
-        series =
-          List.map
-            (fun (k, v) -> (k, to_int v))
-            (to_obj (member_exn "series" metrics));
-        mem = mem_stats_of_json (member_exn "mem" metrics);
-      };
+    metrics = metrics_of_json metrics;
     latency =
       Histogram.of_parts
         ~buckets:(List.map to_int (to_list (member_exn "buckets" latency)))
@@ -303,8 +308,7 @@ let run_cell_exn c =
            (Registry.structure_name c.Plan.structure)
            msg)
 
-let run ?cache ?on_progress (plan : Plan.t) : summary =
-  Option.iter mkdir_p cache;
+let run_sequential ?cache ?on_progress (plan : Plan.t) : summary =
   let total = List.length plan.Plan.cells in
   let started = Sys.time () in
   let executed = ref 0 and cache_hits = ref 0 and failed = ref 0 in
@@ -372,6 +376,117 @@ let run ?cache ?on_progress (plan : Plan.t) : summary =
         failed = !failed;
       };
   }
+
+(* Parallel mode: a shared atomic next-cell counter is the work queue
+   (cells are independent and coarse-grained, so eager index handout is
+   as good as stealing), the plan-ordered rows array is the join point
+   for results, and the on-disk cache is the join point across runs —
+   its write-then-rename stores and key-validated lookups were already
+   safe under concurrent writers. Every cell simulates on whichever
+   worker domain claims it; the scheduler and cell-accounting state are
+   domain-local, so results are bit-identical to the sequential path.
+   Only the progress callback order (completion order, wall-clock ETA)
+   differs. *)
+let run_parallel ~workers ?cache ?on_progress (plan : Plan.t) : summary =
+  let cells = Array.of_list plan.Plan.cells in
+  let total = Array.length cells in
+  let rows : row option array = Array.make total None in
+  let next = Atomic.make 0 in
+  let executed = Atomic.make 0
+  and cache_hits = Atomic.make 0
+  and failed = Atomic.make 0
+  and finished = Atomic.make 0 in
+  let progress_lock = Mutex.create () in
+  let started = Unix.gettimeofday () in
+  (* Cost-model ablations set the model on the calling domain; worker
+     domains must price identically or cell hashes would lie. *)
+  let costs = Smr_runtime.Sim_cell.current_costs () in
+  let process idx =
+    let cell = cells.(idx) in
+    let hash = Plan.cell_hash cell in
+    let cached =
+      match cache with
+      | Some dir ->
+          Profile.time "cache.lookup" (fun () -> cache_lookup ~dir cell hash)
+      | None -> None
+    in
+    let outcome, from_cache =
+      match cached with
+      | Some r ->
+          Atomic.incr cache_hits;
+          (Done r, true)
+      | None -> (
+          Atomic.incr executed;
+          match Profile.time "cell.simulate" (fun () -> run_cell cell) with
+          | Done r as ok ->
+              Profile.add_steps "cell.simulate" r.Workload.steps;
+              Option.iter
+                (fun dir ->
+                  Profile.time "cache.store" (fun () ->
+                      cache_store ~dir cell hash r))
+                cache;
+              (ok, false)
+          | Failed _ as bad ->
+              Atomic.incr failed;
+              (bad, false))
+    in
+    rows.(idx) <- Some { cell; hash; outcome; from_cache };
+    match on_progress with
+    | None -> ()
+    | Some f ->
+        let fin = Atomic.fetch_and_add finished 1 + 1 in
+        let elapsed = Unix.gettimeofday () -. started in
+        let eta =
+          elapsed /. float_of_int fin *. float_of_int (total - fin)
+        in
+        Mutex.protect progress_lock (fun () ->
+            f
+              {
+                pr_index = fin;
+                pr_total = total;
+                pr_cell = cell;
+                pr_cached = from_cache;
+                pr_ok = (match outcome with Done _ -> true | Failed _ -> false);
+                pr_elapsed = elapsed;
+                pr_eta = eta;
+              })
+  in
+  let worker () =
+    Smr_runtime.Sim_cell.set_costs costs;
+    let rec loop () =
+      let idx = Atomic.fetch_and_add next 1 in
+      if idx < total then begin
+        process idx;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let ds = Array.init workers (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join ds;
+  let rows =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false (* joined above *))
+         rows)
+  in
+  {
+    plan_name = plan.Plan.name;
+    rows;
+    stats =
+      {
+        total;
+        executed = Atomic.get executed;
+        cache_hits = Atomic.get cache_hits;
+        failed = Atomic.get failed;
+      };
+  }
+
+let run ?(domains = 1) ?cache ?on_progress (plan : Plan.t) : summary =
+  Option.iter mkdir_p cache;
+  let workers = min domains (List.length plan.Plan.cells) in
+  if workers <= 1 then run_sequential ?cache ?on_progress plan
+  else run_parallel ~workers ?cache ?on_progress plan
 
 (* -- reporting ------------------------------------------------------------ *)
 

@@ -58,9 +58,22 @@ val run_cell_exn : Plan.cell -> Workload.result
     drivers that want the historical abort-on-error behaviour. *)
 
 val run :
-  ?cache:string -> ?on_progress:(progress -> unit) -> Plan.t -> summary
-(** Execute every cell of the plan, in order. [cache] is the cache
-    directory (created if missing); omitted means no caching. *)
+  ?domains:int ->
+  ?cache:string ->
+  ?on_progress:(progress -> unit) ->
+  Plan.t ->
+  summary
+(** Execute every cell of the plan. [cache] is the cache directory
+    (created if missing); omitted means no caching.
+
+    [domains] (default 1) > 1 fans the cells out across that many worker
+    {!Domain}s pulling from a shared atomic queue. Cells are independent
+    and all simulator state is domain-local, so rows (order and content),
+    failure rows, cache files and any report built from the summary are
+    byte-identical to a sequential run — guarded by the determinism tests
+    in [test/test_executor.ml]. Only the progress callbacks differ:
+    they arrive in completion order (still one per cell, serialized) and
+    time wall-clock rather than CPU seconds. *)
 
 val print_progress : Format.formatter -> progress -> unit
 (** A terse one-line-per-cell progress printer for driver stderr. *)
@@ -76,3 +89,9 @@ val result_to_json : Workload.result -> Json.t
 val result_of_json : Json.t -> Workload.result
 (** Inverses on everything {!Workload.run} produces; [result_of_json]
     raises {!Json.Parse_error} on schema violations. *)
+
+val metrics_to_json : Smr.Metrics.snapshot -> Json.t
+val metrics_of_json : Json.t -> Smr.Metrics.snapshot
+(** The metrics-snapshot component of the cache payload, exposed so the
+    native harness ({!Native_workload}, {!Parity}) serializes snapshots
+    in exactly the same shape. *)

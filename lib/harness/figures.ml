@@ -31,8 +31,8 @@ let run_point ?stalled ?use_trim ?cfg ?budget ?prefill ?arch ~ds ~scale ~mix
 (* Execute a plan, surface failures on stderr (the sweep itself already
    survived them), and regroup the surviving rows into per-label series
    keyed by [x] (thread count for most figures, stalled count for 10a). *)
-let exec ?cache ?on_progress ~x (plan : Plan.t) : series list =
-  let summary = Executor.run ?cache ?on_progress plan in
+let exec ?domains ?cache ?on_progress ~x (plan : Plan.t) : series list =
+  let summary = Executor.run ?domains ?cache ?on_progress plan in
   List.iter
     (fun (r : Executor.row) ->
       match r.Executor.outcome with
@@ -66,14 +66,15 @@ let exec ?cache ?on_progress ~x (plan : Plan.t) : series list =
       })
     labels
 
-let run_grid ?cache ?on_progress ~title ~ds ~mix ~arch ~scale ~grid () =
+let run_grid ?domains ?cache ?on_progress ~title ~ds ~mix ~arch ~scale ~grid
+    () =
   let plan =
     Plan.grid ~name:title ~arch ~scale ~mix ~structures:[ ds ] ~threads:grid ()
   in
   {
     title;
     grid;
-    series = exec ?cache ?on_progress ~x:(fun c -> c.Plan.threads) plan;
+    series = exec ?domains ?cache ?on_progress ~x:(fun c -> c.Plan.threads) plan;
   }
 
 (* -- table printing ------------------------------------------------------- *)
@@ -107,8 +108,8 @@ let print_unreclaimed ppf g =
 (* -- Figures 8/9 (x86 write-heavy), 11/12 (x86 read-mostly),
       13/14 (PPC write-heavy), 15/16 (PPC read-mostly) ------------------- *)
 
-let fig_pair ?cache ?on_progress ppf ~scale ~arch ~mix ~(thr_fig : string)
-    ~(unr_fig : string) =
+let fig_pair ?domains ?cache ?on_progress ppf ~scale ~arch ~mix
+    ~(thr_fig : string) ~(unr_fig : string) =
   let grid =
     match arch with
     | Registry.X86 -> x86_grid scale
@@ -119,7 +120,7 @@ let fig_pair ?cache ?on_progress ppf ~scale ~arch ~mix ~(thr_fig : string)
     (fun i ds ->
       let letter = List.nth letters i in
       let g =
-        run_grid ?cache ?on_progress
+        run_grid ?domains ?cache ?on_progress
           ~title:
             (Fmt.str "Fig. %s%s/%s%s — %s" thr_fig letter unr_fig letter
                (Registry.ds_name ds))
@@ -131,31 +132,31 @@ let fig_pair ?cache ?on_progress ppf ~scale ~arch ~mix ~(thr_fig : string)
         { g with title = "Fig. " ^ unr_fig ^ letter ^ " — " ^ Registry.ds_name ds })
     Registry.paper_structures
 
-let fig8_9 ?cache ?on_progress ppf ~scale =
+let fig8_9 ?domains ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf "# Figures 8 & 9 — x86-64, write-heavy (50%% ins / 50%% del)@.@.";
-  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.X86
+  fig_pair ?domains ?cache ?on_progress ppf ~scale ~arch:Registry.X86
     ~mix:Workload.write_heavy ~thr_fig:"8" ~unr_fig:"9"
 
-let fig11_12 ?cache ?on_progress ppf ~scale =
+let fig11_12 ?domains ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf "# Figures 11 & 12 — x86-64, read-mostly (90%% get / 10%% put)@.@.";
-  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.X86
+  fig_pair ?domains ?cache ?on_progress ppf ~scale ~arch:Registry.X86
     ~mix:Workload.read_mostly ~thr_fig:"11" ~unr_fig:"12"
 
-let fig13_14 ?cache ?on_progress ppf ~scale =
+let fig13_14 ?domains ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf
     "# Figures 13 & 14 — PowerPC (Hyaline over LL/SC heads), write-heavy@.@.";
-  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.Ppc
+  fig_pair ?domains ?cache ?on_progress ppf ~scale ~arch:Registry.Ppc
     ~mix:Workload.write_heavy ~thr_fig:"13" ~unr_fig:"14"
 
-let fig15_16 ?cache ?on_progress ppf ~scale =
+let fig15_16 ?domains ?cache ?on_progress ppf ~scale =
   Fmt.pf ppf
     "# Figures 15 & 16 — PowerPC (Hyaline over LL/SC heads), read-mostly@.@.";
-  fig_pair ?cache ?on_progress ppf ~scale ~arch:Registry.Ppc
+  fig_pair ?domains ?cache ?on_progress ppf ~scale ~arch:Registry.Ppc
     ~mix:Workload.read_mostly ~thr_fig:"15" ~unr_fig:"16"
 
 (* -- Figure 10a: robustness under stalled threads ------------------------ *)
 
-let fig10a ?cache ?on_progress ppf ~scale =
+let fig10a ?domains ?cache ?on_progress ppf ~scale =
   let active, stall_grid, budget =
     match scale with
     | Quick -> (16, [ 0; 2; 4; 8; 12; 16 ], 1_000_000)
@@ -205,7 +206,7 @@ let fig10a ?cache ?on_progress ppf ~scale =
           entries;
     }
   in
-  let series = exec ?cache ?on_progress ~x:(fun c -> c.Plan.stalled) plan in
+  let series = exec ?domains ?cache ?on_progress ~x:(fun c -> c.Plan.stalled) plan in
   print_table ppf
     { title = "Fig. 10a — stalled threads (x axis)"; grid = stall_grid; series }
     ~ylabel:"avg unreclaimed objects (sampled per op)"
@@ -218,9 +219,9 @@ let fig10a ?cache ?on_progress ppf ~scale =
    stalled readers. Epoch's horizon cannot pass the stalled guards, so its
    resident footprint grows for the whole run; robust schemes stay bounded.
    The final verdict line is greppable by tools/check.sh and CI. *)
-let footprint ?cache ?on_progress ppf ~scale =
+let footprint ?domains ?cache ?on_progress ppf ~scale =
   let plan = Plan.footprint ~scale () in
-  let summary = Executor.run ?cache ?on_progress plan in
+  let summary = Executor.run ?domains ?cache ?on_progress plan in
   let ok =
     List.filter_map
       (fun (r : Executor.row) ->
@@ -329,9 +330,9 @@ let micro_churn_cost (module S : Registry.SMR) =
    CI: it requires the transparent schemes' per-churn cost to be exactly
    zero, every registration scheme's to be positive, enough churn events,
    and zero orphaned retirees left unadopted at quiescence. *)
-let churn ?cache ?on_progress ppf ~scale =
+let churn ?domains ?cache ?on_progress ppf ~scale =
   let plan = Plan.churn_sweep ~scale () in
-  let summary = Executor.run ?cache ?on_progress plan in
+  let summary = Executor.run ?domains ?cache ?on_progress plan in
   let find label =
     List.find_map
       (fun (r : Executor.row) ->
@@ -417,7 +418,7 @@ let churn ?cache ?on_progress ppf ~scale =
 
 (* -- Figure 10b: trimming with few slots --------------------------------- *)
 
-let fig10b ?cache ?on_progress ppf ~scale =
+let fig10b ?domains ?cache ?on_progress ppf ~scale =
   let grid =
     match scale with
     | Quick -> [ 1; 2; 4; 8; 16; 24 ]
@@ -449,7 +450,7 @@ let fig10b ?cache ?on_progress ppf ~scale =
           entries;
     }
   in
-  let series = exec ?cache ?on_progress ~x:(fun c -> c.Plan.threads) plan in
+  let series = exec ?domains ?cache ?on_progress ~x:(fun c -> c.Plan.threads) plan in
   print_throughput ppf { title = "Fig. 10b — trimming (k<=8)"; grid; series }
 
 (* -- Table 1: scheme comparison ------------------------------------------ *)

@@ -281,6 +281,10 @@ let to_float = function
   | Int i -> float_of_int i
   | _ -> raise (Parse_error "expected number")
 
+let to_bool = function
+  | Bool b -> b
+  | _ -> raise (Parse_error "expected bool")
+
 let to_str = function String s -> s | _ -> raise (Parse_error "expected string")
 let to_list = function List l -> l | _ -> raise (Parse_error "expected array")
 let to_obj = function Obj o -> o | _ -> raise (Parse_error "expected object")

@@ -9,7 +9,8 @@
     Profiling is strictly opt-in ([--profile] on the drivers): disabled —
     the default — [time] adds one branch per call and touches nothing
     else, so measured runs are unaffected. The registry is global and
-    single-domain, like the scheduler; phases are keyed by name and
+    shared by every domain (parallel sweep workers call [time] too), so
+    all mutation happens under one mutex; phases are keyed by name and
     reported in first-use order. *)
 
 type phase = {
@@ -21,12 +22,14 @@ type phase = {
 
 let enabled = ref false
 let phases : phase list ref = ref []  (* reverse first-use order *)
+let lock = Mutex.create ()
 
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
 
-let reset () = phases := []
+let reset () = Mutex.protect lock (fun () -> phases := [])
 
+(* Callers hold [lock]. *)
 let find name =
   match List.find_opt (fun p -> String.equal p.p_name name) !phases with
   | Some p -> p
@@ -38,20 +41,22 @@ let find name =
 let time name f =
   if not !enabled then f ()
   else begin
-    let p = find name in
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
-        p.p_wall <- p.p_wall +. (Unix.gettimeofday () -. t0);
-        p.p_calls <- p.p_calls + 1)
+        let dt = Unix.gettimeofday () -. t0 in
+        Mutex.protect lock (fun () ->
+            let p = find name in
+            p.p_wall <- p.p_wall +. dt;
+            p.p_calls <- p.p_calls + 1))
       f
   end
 
 let add_steps name n =
-  if !enabled then begin
-    let p = find name in
-    p.p_steps <- p.p_steps + n
-  end
+  if !enabled then
+    Mutex.protect lock (fun () ->
+        let p = find name in
+        p.p_steps <- p.p_steps + n)
 
 let ordered () = List.rev !phases
 

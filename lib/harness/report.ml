@@ -314,13 +314,13 @@ let validate ?schemes parsed =
     Failed cells are reported on stderr and dropped from the report; the
     executor stats are returned alongside so drivers can surface cache
     behaviour. *)
-let collect ?cache ?on_progress ~name ~arch ~scale ~structures ~thread_counts
-    () =
+let collect ?domains ?cache ?on_progress ~name ~arch ~scale ~structures
+    ~thread_counts () =
   let plan =
     Plan.grid ~name ~arch ~scale ~mix:Workload.write_heavy ~structures
       ~threads:thread_counts ()
   in
-  let summary = Executor.run ?cache ?on_progress plan in
+  let summary = Executor.run ?domains ?cache ?on_progress plan in
   let points =
     List.filter_map
       (fun (row : Executor.row) ->

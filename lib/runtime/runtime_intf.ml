@@ -61,6 +61,7 @@ module type S = sig
   val alloc_point : bytes:int -> unit
   (** Marks (and, under the simulator, charges) a node allocation of
       [bytes] modelled bytes — a costed preemption point, so the window
-      between freeing a slot and reusing it is explorable. A no-op
-      natively. *)
+      between freeing a slot and reusing it is explorable. Natively it
+      feeds the {!Native_runtime.alloc_stats} counters instead of a
+      clock. *)
 end

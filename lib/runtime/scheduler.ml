@@ -105,9 +105,16 @@ type t = {
          built once at [create] — resuming a thread allocates nothing *)
 }
 
-(* The scheduler running on this domain, if any. Scheduling is
-   single-domain by construction, so a plain ref is safe. *)
-let active : t option ref = ref None
+(* The scheduler running on this domain, if any. Domain-local: each
+   parallel sweep worker runs its own deterministic scheduler, and
+   schedulers never migrate between domains, so a per-domain slot keeps
+   the single-domain invariant every other comment here relies on. The
+   slot is a ref fetched once per operation — [Domain.DLS.get] on an
+   already-initialised key is an array load. *)
+let active_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let[@inline] active () = Domain.DLS.get active_key
 
 let dummy_fn () = ()
 
@@ -288,11 +295,12 @@ let activate_due t =
 let pending_spawns t = List.length t.spawn_queue
 
 let self () =
-  match !active with
+  match !(active ()) with
   | Some t when t.current >= 0 -> t.current
   | Some _ | None -> invalid_arg "Scheduler.self: no thread is running"
 
-let inside () = match !active with Some t -> t.current >= 0 | None -> false
+let inside () =
+  match !(active ()) with Some t -> t.current >= 0 | None -> false
 
 (* The step hot path, called once per simulated shared-memory operation.
    Charges the clock, records the footprint and decides the next
@@ -330,12 +338,12 @@ let[@inline] step_on t cost cell write =
   end
 
 let step_at ~cell ~write cost =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some t -> if t.current >= 0 then step_on t cost cell write
 
 let step ?access cost =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some t ->
       if t.current >= 0 then begin
@@ -450,8 +458,9 @@ let[@inline] dispatch t th =
   t.current <- -1
 
 let run ?(budget = max_int) t =
-  let previous = !active in
-  active := Some t;
+  let slot = active () in
+  let previous = !slot in
+  slot := Some t;
   t.deadline <- (if budget = max_int then max_int else t.clock + budget);
   t.pending <- -1;
   let rec loop () =
@@ -495,7 +504,7 @@ let run ?(budget = max_int) t =
       end
     end
   in
-  Fun.protect ~finally:(fun () -> active := previous) loop
+  Fun.protect ~finally:(fun () -> slot := previous) loop
 
 let rehook t =
   t.hooked <- (t.pick_fn != None || t.on_decision != None)

@@ -51,31 +51,48 @@ let k_faa = 5
 let k_swap = 6
 let k_alloc = 7
 
-(* Price per op class, rebuilt by [set_costs]. *)
-let price = Array.make n_classes 0
+(* All mutable accounting state is domain-local, like the scheduler's
+   active slot: each parallel sweep worker prices, counts and numbers its
+   own cells without observing the others, so a cell simulated on worker
+   domain k is bit-identical to the same cell simulated on the main
+   domain. One [Domain.DLS.get] per operation (an array load once the key
+   is initialised) is the entire cross-domain cost. *)
+type dstate = {
+  price : int array;  (* per op class, rebuilt by [set_costs] *)
+  op_n : int array;  (* counts per class — the mix behind Table 1 *)
+  op_c : int array;  (* accumulated simulated cost per class *)
+  mutable model : costs;  (* the active cost model, for ablations *)
+  mutable id_counter : int;
+}
 
-(* Counts and accumulated simulated cost per class. Plain ints, zero
-   simulated cost: the per-scheme atomic-op mix behind Table 1. *)
-let op_n = Array.make n_classes 0
-let op_c = Array.make n_classes 0
+let apply_costs d (c : costs) =
+  d.model <- c;
+  d.price.(k_read) <- c.read;
+  d.price.(k_write) <- c.write;
+  d.price.(k_plain) <- c.read;
+  d.price.(k_cas_ok) <- c.cas;
+  d.price.(k_cas_fail) <- c.cas;
+  d.price.(k_faa) <- c.faa;
+  d.price.(k_swap) <- c.swap;
+  d.price.(k_alloc) <- c.alloc
 
-(* The active cost model. Mutable so benchmarks can ablate it;
-   single-domain use only, like the scheduler itself. *)
-let cost_model = ref default_costs
+let dstate_key : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let d =
+        {
+          price = Array.make n_classes 0;
+          op_n = Array.make n_classes 0;
+          op_c = Array.make n_classes 0;
+          model = default_costs;
+          id_counter = 0;
+        }
+      in
+      apply_costs d default_costs;
+      d)
 
-let set_costs (c : costs) =
-  cost_model := c;
-  price.(k_read) <- c.read;
-  price.(k_write) <- c.write;
-  price.(k_plain) <- c.read;
-  price.(k_cas_ok) <- c.cas;
-  price.(k_cas_fail) <- c.cas;
-  price.(k_faa) <- c.faa;
-  price.(k_swap) <- c.swap;
-  price.(k_alloc) <- c.alloc
-
-let () = set_costs default_costs
-let current_costs () = !cost_model
+let[@inline] dstate () = Domain.DLS.get dstate_key
+let set_costs (c : costs) = apply_costs (dstate ()) c
+let current_costs () = (dstate ()).model
 
 (* Aggregated view of the per-class counters — the shape the executor's
    result cache serializes, kept as a record for JSON round-trip
@@ -118,12 +135,14 @@ let zero_counts () =
   }
 
 let reset_counts () =
-  Array.fill op_n 0 n_classes 0;
-  Array.fill op_c 0 n_classes 0
+  let d = dstate () in
+  Array.fill d.op_n 0 n_classes 0;
+  Array.fill d.op_c 0 n_classes 0
 
-(* Snapshot of the global counters, for before/after deltas around a
+(* Snapshot of this domain's counters, for before/after deltas around a
    measured phase (reading plain ints never perturbs the simulation). *)
 let snapshot_counts () =
+  let { op_n; op_c; _ } = dstate () in
   {
     reads = op_n.(k_read);
     writes = op_n.(k_write);
@@ -171,25 +190,27 @@ type 'a t = { id : int; mutable v : 'a }
 
 (* Cell ids feed the explorer's independence relation (two operations
    commute iff they touch different cells or are both reads). Creation
-   order is deterministic under the deterministic scheduler, so ids are
-   stable across replays of the same schedule prefix; [reset_ids] lets a
+   order is deterministic under the deterministic scheduler, and the
+   counter is domain-local, so ids are stable across replays of the same
+   schedule prefix whichever worker domain runs them; [reset_ids] lets a
    stateless explorer restart numbering for every re-execution. *)
-let id_counter = ref 0
-
-let reset_ids () = id_counter := 0
+let reset_ids () = (dstate ()).id_counter <- 0
 
 let make v =
-  incr id_counter;
-  { id = !id_counter; v }
+  let d = dstate () in
+  let id = d.id_counter + 1 in
+  d.id_counter <- id;
+  { id; v }
 
 (* One charge: yield at the cell with the class's price, then bump the
    class counters. The [k] arguments below are literal constants, so
    every array access is a bounds-check-free constant-offset load. *)
 let[@inline] charge k cell write =
-  let cost = Array.unsafe_get price k in
+  let d = dstate () in
+  let cost = Array.unsafe_get d.price k in
   Scheduler.step_at ~cell ~write cost;
-  Array.unsafe_set op_n k (Array.unsafe_get op_n k + 1);
-  Array.unsafe_set op_c k (Array.unsafe_get op_c k + cost)
+  Array.unsafe_set d.op_n k (Array.unsafe_get d.op_n k + 1);
+  Array.unsafe_set d.op_c k (Array.unsafe_get d.op_c k + cost)
 
 let get c =
   charge k_read c.id false;
@@ -213,17 +234,20 @@ let exchange c v =
 (* Success is decided by the value visible *after* the yield — the CAS
    takes effect at the resume point, like every other operation here. *)
 let compare_and_set c expected desired =
-  let cost = Array.unsafe_get price k_cas_ok in
+  let d = dstate () in
+  let cost = Array.unsafe_get d.price k_cas_ok in
   Scheduler.step_at ~cell:c.id ~write:true cost;
   if c.v == expected then begin
-    Array.unsafe_set op_n k_cas_ok (Array.unsafe_get op_n k_cas_ok + 1);
-    Array.unsafe_set op_c k_cas_ok (Array.unsafe_get op_c k_cas_ok + cost);
+    Array.unsafe_set d.op_n k_cas_ok (Array.unsafe_get d.op_n k_cas_ok + 1);
+    Array.unsafe_set d.op_c k_cas_ok (Array.unsafe_get d.op_c k_cas_ok + cost);
     c.v <- desired;
     true
   end
   else begin
-    Array.unsafe_set op_n k_cas_fail (Array.unsafe_get op_n k_cas_fail + 1);
-    Array.unsafe_set op_c k_cas_fail (Array.unsafe_get op_c k_cas_fail + cost);
+    Array.unsafe_set d.op_n k_cas_fail
+      (Array.unsafe_get d.op_n k_cas_fail + 1);
+    Array.unsafe_set d.op_c k_cas_fail
+      (Array.unsafe_get d.op_c k_cas_fail + cost);
     false
   end
 

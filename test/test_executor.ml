@@ -154,6 +154,120 @@ let test_failure_row () =
       | _ -> Alcotest.fail "run_cell_exn did not raise"
       | exception Failure _ -> ())
 
+(* -- parallel determinism -------------------------------------------------
+
+   The [~domains] contract: fan-out is an implementation detail. Rows
+   (order and content), failure rows, stats and cache files must be
+   byte-identical to a sequential run — here checked by serializing
+   whole summaries and diffing cache directories file by file. *)
+
+let row_fingerprint (r : Executor.row) =
+  let body =
+    match r.Executor.outcome with
+    | Executor.Done res -> Json.to_string (Executor.result_to_json res)
+    | Executor.Failed msg -> "FAILED " ^ msg
+  in
+  Printf.sprintf "%s|%s|%b|%s" r.Executor.cell.Plan.label r.Executor.hash
+    r.Executor.from_cache body
+
+let summary_fingerprint (s : Executor.summary) =
+  String.concat "\n" (List.map row_fingerprint s.Executor.rows)
+
+(* Several schemes, a thread-count spread, and one failing cell, so the
+   parallel path is exercised across outcome kinds. *)
+let mixed_plan () =
+  {
+    Plan.name = "parallel";
+    cells =
+      [
+        tiny ();
+        tiny ~threads:3 ();
+        tiny ~scheme:"Hyaline" ();
+        tiny ~scheme:"HP" ();
+        tiny ~prefill:100_000 ~label:"bad" ();
+        tiny ~scheme:"Hyaline-S" ~threads:3 ();
+      ];
+  }
+
+let cache_snapshot dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun name ->
+         ( name,
+           In_channel.with_open_bin (Filename.concat dir name)
+             In_channel.input_all ))
+
+let test_parallel_rows_identical () =
+  let plan = mixed_plan () in
+  let seq = Executor.run plan in
+  let par = Executor.run ~domains:8 plan in
+  Alcotest.(check string)
+    "rows byte-identical at 8 domains" (summary_fingerprint seq)
+    (summary_fingerprint par);
+  Alcotest.(check int)
+    "same failure count" seq.Executor.stats.failed par.Executor.stats.failed;
+  Alcotest.(check int)
+    "same executed count" seq.Executor.stats.executed
+    par.Executor.stats.executed
+
+let test_parallel_cache_identical () =
+  let plan = mixed_plan () in
+  with_tmp_dir (fun seq_dir ->
+      with_tmp_dir (fun par_dir ->
+          let seq = Executor.run ~cache:seq_dir plan in
+          let par = Executor.run ~domains:8 ~cache:par_dir plan in
+          Alcotest.(check string)
+            "cached rows byte-identical" (summary_fingerprint seq)
+            (summary_fingerprint par);
+          let a = cache_snapshot seq_dir and b = cache_snapshot par_dir in
+          Alcotest.(check int)
+            "same cache file set" (List.length a) (List.length b);
+          List.iter2
+            (fun (na, ca) (nb, cb) ->
+              Alcotest.(check string) "same cache file name" na nb;
+              Alcotest.(check string) ("cache file " ^ na) ca cb)
+            a b))
+
+let test_parallel_resume_executes_nothing () =
+  with_tmp_dir (fun dir ->
+      let plan =
+        {
+          Plan.name = "parallel-resume";
+          cells = [ tiny (); tiny ~threads:3 (); tiny ~scheme:"Hyaline" () ];
+        }
+      in
+      let cold = Executor.run ~domains:4 ~cache:dir plan in
+      Alcotest.(check int) "cold parallel run executes all" 3
+        cold.Executor.stats.executed;
+      (* Warm parallel rerun: pure cache replay, no simulation at all. *)
+      let before = Cell.snapshot_counts () in
+      let warm = Executor.run ~domains:4 ~cache:dir plan in
+      let after = Cell.snapshot_counts () in
+      Alcotest.(check int) "warm parallel: zero executed" 0
+        warm.Executor.stats.executed;
+      Alcotest.(check int) "warm parallel: all cache hits" 3
+        warm.Executor.stats.cache_hits;
+      Alcotest.(check bool)
+        "warm parallel: zero simulated steps" true (before = after);
+      (* The cache is shared property, not a per-mode artifact: a
+         sequential rerun replays the parallel run's files too. *)
+      let seq = Executor.run ~cache:dir plan in
+      Alcotest.(check int) "sequential rerun: zero executed" 0
+        seq.Executor.stats.executed)
+
+let test_parallel_golden_point () =
+  (* The end-to-end schedule fingerprint must survive running inside a
+     spawned worker domain (domain-local scheduler + cell state). *)
+  let plan =
+    { Plan.name = "parallel-golden"; cells = [ tiny (); tiny ~threads:3 () ] }
+  in
+  match Executor.run ~domains:2 plan with
+  | { Executor.rows = { Executor.outcome = Executor.Done r; _ } :: _; _ } ->
+      Alcotest.(check string)
+        "epoch/list pinned point via worker domain" "ops=71 steps=2003"
+        (Printf.sprintf "ops=%d steps=%d" r.Smr_harness.Workload.ops
+           r.Smr_harness.Workload.steps)
+  | _ -> Alcotest.fail "golden cell failed under ~domains"
+
 (* -- golden hashes and results --------------------------------------------
 
    Hard-coded [Plan.cell_hash] values for pinned cells, and the exact
@@ -199,6 +313,14 @@ let suite =
     Alcotest.test_case "resume-executes-nothing" `Quick
       test_resume_executes_nothing;
     Alcotest.test_case "failure-row" `Quick test_failure_row;
+    Alcotest.test_case "parallel-rows-identical" `Quick
+      test_parallel_rows_identical;
+    Alcotest.test_case "parallel-cache-identical" `Quick
+      test_parallel_cache_identical;
+    Alcotest.test_case "parallel-resume-executes-nothing" `Quick
+      test_parallel_resume_executes_nothing;
+    Alcotest.test_case "parallel-golden-point" `Quick
+      test_parallel_golden_point;
     Alcotest.test_case "golden-cell-hashes" `Quick test_golden_cell_hashes;
     Alcotest.test_case "golden-workload-point" `Quick
       test_golden_workload_point;

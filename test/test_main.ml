@@ -1,3 +1,8 @@
+(* Must come first: if this process is a re-exec'd native-cell worker
+   (see Native_workload.guard_main), it runs the cell and exits instead
+   of running the suite. *)
+let () = Smr_harness.Native_workload.guard_main ()
+
 let () =
   Alcotest.run "hyaline"
     [
@@ -10,6 +15,7 @@ let () =
       ("queue", Test_queue.suite);
       ("edge", Test_edge.suite);
       ("native", Test_native.suite);
+      ("native-parity", Test_native_parity.suite);
       ("explore", Test_explore.suite);
       ("conformance", Test_conformance.suite);
       ("schemes-unit", Test_schemes_unit.suite);

@@ -49,6 +49,35 @@ grep -q "(100% cached)" "$tmpdir/pass2.log" || {
 cmp "$tmpdir/out1/BENCH_resume.json" "$tmpdir/out2/BENCH_resume.json" || {
   echo "cache smoke: warm-cache report differs from cold-cache report"; exit 1; }
 
+# Parallel-sweep determinism smoke: the same plan fanned out across 2
+# worker domains must write a byte-identical report AND byte-identical
+# cache files — ~domains is an implementation detail, not an input.
+echo "==> 2-domain sweep determinism smoke run"
+mkdir "$tmpdir/seq" "$tmpdir/par"
+dune exec bin/figures.exe -- bench -n domains -t 2 -t 4 \
+  -o "$tmpdir/seq" --cache-dir "$tmpdir/seqcache" >/dev/null
+dune exec bin/figures.exe -- bench -n domains -t 2 -t 4 --domains 2 \
+  -o "$tmpdir/par" --cache-dir "$tmpdir/parcache" >/dev/null
+cmp "$tmpdir/seq/BENCH_domains.json" "$tmpdir/par/BENCH_domains.json" || {
+  echo "domain smoke: parallel report differs from sequential"; exit 1; }
+diff -r "$tmpdir/seqcache" "$tmpdir/parcache" >/dev/null || {
+  echo "domain smoke: parallel cache files differ from sequential"; exit 1; }
+
+# Native parity smoke: the full scheme x structure matrix on real OCaml 5
+# domains (watchdog-guarded), then the pinned sim-vs-native ordering
+# ladder. The driver prints a one-line machine-checked verdict and exits
+# non-zero unless the native runtime reproduces the simulator's relative
+# scheme ordering (separated-pair concordance + Leaky topping the
+# peak-unreclaimed rank on both runtimes).
+echo "==> parity smoke run"
+dune exec bin/figures.exe -- parity --domains 2 --reps 3 \
+  --cache-dir "$tmpdir/cache" -o "$tmpdir" >"$tmpdir/parity.log" || {
+  echo "parity smoke: driver failed"; cat "$tmpdir/parity.log"; exit 1; }
+grep -q "parity verdict: agree" "$tmpdir/parity.log" || {
+  echo "parity smoke: sim-vs-native ordering disagrees"
+  cat "$tmpdir/parity.log"; exit 1; }
+test -s "$tmpdir/BENCH_native.json"
+
 # Footprint smoke: the stalled-reader resident-bytes sweep must reproduce
 # the paper's robustness contrast — non-robust Epoch's resident bytes at
 # least double robust Hyaline-S's. The driver prints a one-line verdict
@@ -93,6 +122,9 @@ cat "$tmpdir/selfbench.log"
 test -s "$tmpdir/BENCH_smoke.json"
 grep -q "ratio 1.00" "$tmpdir/selfbench.log" || {
   echo "selfbench smoke: live-slot scan cost no longer capacity-independent"
+  exit 1; }
+grep -q "rows identical" "$tmpdir/selfbench.log" || {
+  echo "selfbench smoke: parallel sweep rows diverged from sequential"
   exit 1; }
 
 echo "==> all checks passed"

@@ -176,6 +176,31 @@ let bench_scan () =
   in
   (cost ~capacity:144, cost ~capacity:2)
 
+(* -- section 5: traffic-driver overhead ------------------------------------ *)
+
+(* Open- vs closed-loop driver cost, pinned on the same cell: the open-loop
+   driver adds an arrival-stream draw, a sleep-or-serve decision and two
+   histogram observations per request on top of the closed-loop op body.
+   Wall-clock cost-units/sec for both drivers plus their ratio — a
+   regression in the request path shows up as a trajectory break here
+   before it pollutes the service-sweep numbers. *)
+let bench_service () =
+  let cell service =
+    Plan.cell ~scale:Plan.Quick ~mix:Workload.write_heavy ~scheme:"Hyaline-S"
+      ~structure:Registry.Hashmap ~threads:8 ?service ()
+  in
+  let time c =
+    let t0 = now_s () in
+    let r = Executor.run_cell_exn c in
+    (r.Workload.steps, now_s () -. t0)
+  in
+  let closed_cost, closed_wall = time (cell None) in
+  let open_cost, open_wall =
+    time
+      (cell (Some (Smr_harness.Traffic.poisson_service ~mean_gap:16 ())))
+  in
+  (closed_cost, closed_wall, open_cost, open_wall)
+
 (* -- report ---------------------------------------------------------------- *)
 
 let rate n wall = if wall <= 0.0 then 0.0 else float_of_int n /. wall
@@ -204,6 +229,9 @@ let () =
   let w_cells, w_cost, w_wall = bench_sweep () in
   let p_domains, p_cells, p_seq_wall, p_par_wall = bench_parallel_sweep () in
   let scan_wide, scan_tight = bench_scan () in
+  let sv_closed_cost, sv_closed_wall, sv_open_cost, sv_open_wall =
+    bench_service ()
+  in
   let steps_sec = rate s_yields s_wall in
   let ops_sec = rate c_ops c_wall in
   Fmt.pr "selfbench steps: %d yields in %.3fs = %.3e steps/sec@." s_yields
@@ -225,6 +253,15 @@ let () =
      %d (capacity 2), ratio %.2f@."
     scan_wide scan_tight
     (float_of_int scan_wide /. float_of_int (max 1 scan_tight));
+  let sv_closed_rate = rate sv_closed_cost sv_closed_wall in
+  let sv_open_rate = rate sv_open_cost sv_open_wall in
+  let sv_overhead =
+    if sv_open_rate > 0.0 then sv_closed_rate /. sv_open_rate else 0.0
+  in
+  Fmt.pr
+    "selfbench service: closed-loop %.3e cost-units/sec vs open-loop %.3e, \
+     driver overhead %.2fx@."
+    sv_closed_rate sv_open_rate sv_overhead;
   let section name fields = Json.Obj (("name", Json.String name) :: fields) in
   let j =
     Json.Obj
@@ -274,6 +311,16 @@ let () =
                       (if p_par_wall > 0.0 then p_seq_wall /. p_par_wall
                        else 0.0) );
                   ("rows_identical", Json.Bool true);
+                ];
+              section "service"
+                [
+                  ("closed_cost_units", Json.Int sv_closed_cost);
+                  ("closed_wall_s", Json.Float sv_closed_wall);
+                  ("closed_cost_units_per_sec", Json.Float sv_closed_rate);
+                  ("open_cost_units", Json.Int sv_open_cost);
+                  ("open_wall_s", Json.Float sv_open_wall);
+                  ("open_cost_units_per_sec", Json.Float sv_open_rate);
+                  ("driver_overhead", Json.Float sv_overhead);
                 ];
               section "scan"
                 [

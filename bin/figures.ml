@@ -148,7 +148,7 @@ let point_cmd =
     let r =
       try
         Smr_harness.Figures.run_point ~stalled ~cfg ~ds ~scale
-          ~mix:{ Smr_harness.Workload.read_pct = reads }
+          ~mix:(Smr_harness.Workload.mix reads)
           scheme threads
       with Failure msg ->
         Fmt.epr "%s@." msg;
@@ -473,6 +473,54 @@ let parity_cmd =
       const run $ domains_t $ reps_t $ dir_t $ profile_term $ cache_term
       $ progress_term $ scale_term)
 
+let service_cmd =
+  let doc =
+    "The million-user session-cache service sweep: open-loop bursty \
+     Zipfian traffic with a mid-run hot-key storm, read/write client \
+     tiers, connection churn, 2 stalled readers, a periodic background \
+     reclaimer and a byte-budget pressure spike, one cell per scheme. \
+     Prints SLO percentiles (p50/p99/p999 sojourn, queue p99), \
+     resident-byte trajectories and a machine-checked robustness \
+     verdict; optionally writes BENCH_service.json."
+  in
+  let dir_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output-dir" ]
+          ~doc:"Write (and round-trip validate) BENCH_service.json here.")
+  in
+  let run out profile domains cache on_progress scale =
+    let t, stats =
+      Smr_harness.Figures.service ?domains ?cache ?on_progress Fmt.stdout
+        ~scale
+    in
+    Fmt.pr "%a@." Executor.pp_stats stats;
+    profile_report profile;
+    (match out with
+    | None -> ()
+    | Some d ->
+        let path = Smr_harness.Service.write ~dir:d t in
+        (* Self-check: re-read the artifact, parse it against the schema,
+           and assert coverage + verdict — CI keys off this. *)
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        let parsed = Smr_harness.Service.parse (Smr_harness.Json.of_string text) in
+        (match Smr_harness.Service.validate parsed with
+        | Ok () ->
+            Fmt.pr "wrote %s: %d rows, schema ok, verdict holds@." path
+              (List.length parsed.Smr_harness.Service.p_rows)
+        | Error msg ->
+            Fmt.epr "invalid service report %s: %s@." path msg;
+            exit 1));
+    if not t.Smr_harness.Service.verdict.Smr_harness.Service.v_ok then exit 1
+  in
+  Cmd.v (Cmd.info "service" ~doc)
+    Term.(
+      const run $ dir_t $ profile_term $ domains_term $ cache_term
+      $ progress_term $ scale_term)
+
 (* Must come first: if this process is a re-exec'd native-cell worker
    (see Native_workload.guard_main), it runs the cell and exits instead
    of parsing the command line. *)
@@ -499,6 +547,7 @@ let () =
         Term.(const (fun () -> table1 Fmt.stdout) $ const ());
       point_cmd;
       bench_cmd;
+      service_cmd;
       parity_cmd;
       verify_cmd;
     ]

@@ -217,6 +217,7 @@ module Make (S : Smr.Smr_intf.SMR) = struct
   let register ?tid t = S.register ?tid t.smr
   let deregister t s = S.deregister t.smr s
   let flush t = S.flush t.smr
+  let relieve t = S.relieve t.smr
   let stats t = S.stats t.smr
   let metrics t = S.metrics t.smr
 end

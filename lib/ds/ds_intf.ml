@@ -38,6 +38,10 @@ module type CONC_SET = sig
   val flush : t -> unit
   (** Quiescence-only: drain scheme-local pending reclamation. *)
 
+  val relieve : t -> unit
+  (** Mid-run-safe bounded reclamation attempt (see
+      {!Smr.Smr_intf.SMR.relieve}) — the background reclaimer's tick. *)
+
   val stats : t -> Smr.Smr_intf.stats
 
   val metrics : t -> Smr.Metrics.snapshot

@@ -165,6 +165,43 @@ let churn_of_json j : Workload.churn_stats =
     c_orphan_backlog = i "orphan_backlog";
   }
 
+let hist_to_json (h : Histogram.t) =
+  Json.Obj
+    [
+      ( "buckets",
+        Json.List (List.map (fun n -> Json.Int n) (Histogram.to_list h)) );
+      ("sum", Json.Int (Histogram.sum h));
+      ("max", Json.Int h.Histogram.max);
+    ]
+
+let hist_of_json j =
+  let i k = Json.to_int (Json.member_exn k j) in
+  Histogram.of_parts
+    ~buckets:(List.map Json.to_int (Json.to_list (Json.member_exn "buckets" j)))
+    ~sum:(i "sum") ~max:(i "max")
+
+let service_to_json (s : Workload.service_stats) =
+  Json.Obj
+    [
+      ("arrivals", Json.Int s.Workload.sv_arrivals);
+      ("served", Json.Int s.Workload.sv_served);
+      ("hot_ops", Json.Int s.Workload.sv_hot_ops);
+      ("reclaimer_wakes", Json.Int s.Workload.sv_reclaimer_wakes);
+      ("queue", hist_to_json s.Workload.sv_queue);
+      ("sojourn", hist_to_json s.Workload.sv_sojourn);
+    ]
+
+let service_of_json j : Workload.service_stats =
+  let i k = Json.to_int (Json.member_exn k j) in
+  {
+    Workload.sv_arrivals = i "arrivals";
+    sv_served = i "served";
+    sv_hot_ops = i "hot_ops";
+    sv_reclaimer_wakes = i "reclaimer_wakes";
+    sv_queue = hist_of_json (Json.member_exn "queue" j);
+    sv_sojourn = hist_of_json (Json.member_exn "sojourn" j);
+  }
+
 let result_to_json (r : Workload.result) : Json.t =
   let m = r.Workload.metrics in
   Json.Obj
@@ -196,12 +233,16 @@ let result_to_json (r : Workload.result) : Json.t =
       ("op_costs", op_counts_to_json r.Workload.op_costs);
       ("timeline", Json.List (List.map sample_to_json r.Workload.timeline));
     ]
-    (* Present only for churn runs: cached churn-free entries keep their
-       historical shape byte-for-byte. *)
+    (* Present only for churn / open-loop runs respectively: cached
+       entries without those features keep their historical shape
+       byte-for-byte. *)
+    @ (match r.Workload.churn with
+      | None -> []
+      | Some c -> [ ("churn", churn_to_json c) ])
     @
-    match r.Workload.churn with
+    match r.Workload.service with
     | None -> []
-    | Some c -> [ ("churn", churn_to_json c) ])
+    | Some s -> [ ("service", service_to_json s) ])
 
 let result_of_json j : Workload.result =
   let open Json in
@@ -230,6 +271,7 @@ let result_of_json j : Workload.result =
     timeline =
       List.map sample_of_json (to_list (member_exn "timeline" j));
     churn = Option.map churn_of_json (member "churn" j);
+    service = Option.map service_of_json (member "service" j);
   }
 
 (* -- the cache ------------------------------------------------------------ *)
@@ -260,7 +302,7 @@ let write_file path text =
     (fun () -> output_string oc text);
   Sys.rename tmp path
 
-let cache_lookup ~dir cell hash =
+let cache_lookup ~dir cell hash : outcome option =
   let path = cache_path dir hash in
   if not (Sys.file_exists path) then None
   else
@@ -270,19 +312,35 @@ let cache_lookup ~dir cell hash =
       (* The stored key must match exactly: catches both MD5 collisions
          and entries written by an incompatible key schema. *)
       if String.equal key (Plan.cell_key cell) then
-        Some (result_of_json (Json.member_exn "result" j))
+        match Json.member "failure" j with
+        | Some m -> Some (Failed (Json.to_str m))
+        | None -> Some (Done (result_of_json (Json.member_exn "result" j)))
       else None
     with _ -> None
 
-let cache_store ~dir cell hash result =
-  let j =
-    Json.Obj
-      [
-        ("key", Json.String (Plan.cell_key cell));
-        ("result", result_to_json result);
-      ]
+(* Only deterministic-by-construction outcomes are stored: completed
+   results, and simulated OOM failures — under a fixed (spec, seed) a
+   byte budget is exceeded at exactly the same step every run, so an OOM
+   row is as reproducible as a result row. Every other failure (a bad
+   spec, a safety violation, a harness bug) stays uncached so a fixed
+   binary gets to retry it. *)
+let cacheable_failure msg = String.length msg >= 4 && String.sub msg 0 4 = "OOM:"
+
+let cache_store ~dir cell hash (outcome : outcome) =
+  let payload =
+    match outcome with
+    | Done r -> Some [ ("result", result_to_json r) ]
+    | Failed msg when cacheable_failure msg ->
+        Some [ ("failure", Json.String msg) ]
+    | Failed _ -> None
   in
-  write_file (cache_path dir hash) (Json.to_string j)
+  match payload with
+  | None -> ()
+  | Some payload ->
+      let j =
+        Json.Obj (("key", Json.String (Plan.cell_key cell)) :: payload)
+      in
+      write_file (cache_path dir hash) (Json.to_string j)
 
 (* -- execution ------------------------------------------------------------ *)
 
@@ -324,9 +382,10 @@ let run_sequential ?cache ?on_progress (plan : Plan.t) : summary =
         in
         let outcome, from_cache =
           match cached with
-          | Some r ->
+          | Some o ->
               incr cache_hits;
-              (Done r, true)
+              (match o with Failed _ -> incr failed | Done _ -> ());
+              (o, true)
           | None -> (
               incr executed;
               match Profile.time "cell.simulate" (fun () -> run_cell cell) with
@@ -335,11 +394,16 @@ let run_sequential ?cache ?on_progress (plan : Plan.t) : summary =
                   Option.iter
                     (fun dir ->
                       Profile.time "cache.store" (fun () ->
-                          cache_store ~dir cell hash r))
+                          cache_store ~dir cell hash ok))
                     cache;
                   (ok, false)
               | Failed _ as bad ->
                   incr failed;
+                  Option.iter
+                    (fun dir ->
+                      Profile.time "cache.store" (fun () ->
+                          cache_store ~dir cell hash bad))
+                    cache;
                   (bad, false))
         in
         (match on_progress with
@@ -412,9 +476,10 @@ let run_parallel ~workers ?cache ?on_progress (plan : Plan.t) : summary =
     in
     let outcome, from_cache =
       match cached with
-      | Some r ->
+      | Some o ->
           Atomic.incr cache_hits;
-          (Done r, true)
+          (match o with Failed _ -> Atomic.incr failed | Done _ -> ());
+          (o, true)
       | None -> (
           Atomic.incr executed;
           match Profile.time "cell.simulate" (fun () -> run_cell cell) with
@@ -423,11 +488,16 @@ let run_parallel ~workers ?cache ?on_progress (plan : Plan.t) : summary =
               Option.iter
                 (fun dir ->
                   Profile.time "cache.store" (fun () ->
-                      cache_store ~dir cell hash r))
+                      cache_store ~dir cell hash ok))
                 cache;
               (ok, false)
           | Failed _ as bad ->
               Atomic.incr failed;
+              Option.iter
+                (fun dir ->
+                  Profile.time "cache.store" (fun () ->
+                      cache_store ~dir cell hash bad))
+                cache;
               (bad, false))
     in
     rows.(idx) <- Some { cell; hash; outcome; from_cache };

@@ -9,8 +9,10 @@
       interrupted or repeated sweeps resume instead of recomputing. The
       cache key is {!Plan.cell_hash} (resolved spec + cost model), and the
       full {!Plan.cell_key} is stored in the file so collisions and stale
-      entries are detected, not silently trusted. Failures are never
-      cached.
+      entries are detected, not silently trusted. Simulated OOM failures
+      (a deterministic outcome of memory-pressure injection under a fixed
+      seed) are cached like results, as [{"key", "failure"}] entries;
+      every other failure stays uncached so a fixed binary retries it.
     - {b Progress}: an optional callback receives one {!progress} per
       finished cell, with elapsed time and a remaining-time estimate —
       the harness-level counterpart of the scheduler's
@@ -74,6 +76,12 @@ val run :
     in [test/test_executor.ml]. Only the progress callbacks differ:
     they arrive in completion order (still one per cell, serialized) and
     time wall-clock rather than CPU seconds. *)
+
+val cacheable_failure : string -> bool
+(** True for failure messages the cache persists — currently the
+    ["OOM: …"] rows a simulated byte budget produces deterministically.
+    Also the test for "this failure is a simulated OOM" used by the
+    {!Service} verdict. *)
 
 val print_progress : Format.formatter -> progress -> unit
 (** A terse one-line-per-cell progress printer for driver stderr. *)

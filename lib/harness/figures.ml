@@ -416,6 +416,16 @@ let churn ?domains ?cache ?on_progress ppf ~scale =
        transparent_ok registration_pays !events !backlog);
   Fmt.pf ppf "@."
 
+(* -- Service: the open-loop session-cache sweep -------------------------- *)
+
+(* Thin driver over {!Service}: run the sweep, print the SLO table +
+   resident trajectories + greppable verdict line, and hand the artifact
+   back so the CLI can write/validate BENCH_service.json. *)
+let service ?domains ?cache ?on_progress ppf ~scale =
+  let t, stats = Service.collect ?domains ?cache ?on_progress ~scale () in
+  Service.print ppf t;
+  (t, stats)
+
 (* -- Figure 10b: trimming with few slots --------------------------------- *)
 
 let fig10b ?domains ?cache ?on_progress ppf ~scale =

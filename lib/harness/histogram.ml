@@ -58,6 +58,41 @@ let percentile h p =
     go 0 0
   end
 
+(* Linearly-interpolated quantile in float cost units, [p] in [0, 100]
+   (fractional p — e.g. 99.9 — is the point: the integer [percentile]
+   cannot express p999). Interpolates the rank's position inside its
+   bucket between the bucket bounds, with the upper bound tightened to
+   the recorded [max] so the catch-all bucket (and any bucket [max]
+   falls in) never reports a value no sample reached. *)
+let percentile_interp h p =
+  if h.count = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = float_of_int h.count *. p /. 100.0 in
+    let rank = if rank < 1.0 then 1.0 else rank in
+    let rec go i seen =
+      let here = h.buckets.(i) in
+      if (here > 0 && float_of_int (seen + here) >= rank) || i = num_buckets - 1
+      then begin
+        let lo = if i = 0 then 0.0 else float_of_int (1 lsl (i - 1)) in
+        let hi = if i = 0 then 1.0 else float_of_int (1 lsl i) in
+        let hi =
+          if h.max > 0 && float_of_int h.max < hi then float_of_int h.max
+          else hi
+        in
+        let hi = if hi < lo then lo else hi in
+        let frac =
+          if here = 0 then 1.0
+          else (rank -. float_of_int seen) /. float_of_int here
+        in
+        let frac = if frac < 0.0 then 0.0 else if frac > 1.0 then 1.0 else frac in
+        lo +. ((hi -. lo) *. frac)
+      end
+      else go (i + 1) (seen + here)
+    in
+    go 0 0
+  end
+
 (* Bucket upper bounds, parallel to [buckets]; the last is [max_int] in
    spirit but reported as the previous bound doubled for JSON friendliness. *)
 let bounds () = Array.init num_buckets (fun i -> if i = 0 then 1 else 1 lsl i)

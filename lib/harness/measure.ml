@@ -1,0 +1,115 @@
+(** The measurement core of the traffic engine: latency, timeline,
+    unreclaimed-object and SLO accounting shared by every {!Workload}
+    driver.
+
+    Everything here is plain (uncosted) OCaml bookkeeping — recording a
+    sample never touches the scheduler, so for a fixed (spec, seed) the
+    schedule, op count and consumed steps are bit-identical to an
+    uninstrumented run. *)
+
+(** One footprint timeline point: simulated time into the measured phase,
+    resident allocator bytes, and retired-but-unreclaimed nodes. *)
+type sample = { s_at : int; s_resident : int; s_unreclaimed : int }
+
+(** SLO accounting for one open-loop run (present when the spec carries a
+    {!Traffic.service}). Queue delay is arrival → service start; sojourn
+    is arrival → completion — the latency a client of the service
+    actually observes, which is what p999 tails are quoted on. *)
+type service_stats = {
+  sv_arrivals : int;  (** requests pulled from the arrival stream *)
+  sv_served : int;  (** requests completed within the budget *)
+  sv_hot_ops : int;  (** key draws redirected by the hot-key storm *)
+  sv_reclaimer_wakes : int;  (** background-reclaimer flush rounds *)
+  sv_queue : Histogram.t;  (** per-request queue delay, cost units *)
+  sv_sojourn : Histogram.t;  (** per-request arrival-to-completion *)
+}
+
+type t = {
+  sample_every : int;
+  latencies : Histogram.t array;  (** per-worker service-time latency *)
+  mutable unreclaimed_sum : int;
+      (* Plain int accumulator: a float ref would box one float per
+         measured operation. The sum of per-op unreclaimed counts cannot
+         overflow on 63-bit ints for any realistic budget. *)
+  mutable unreclaimed_peak : int;
+  mutable samples : int;
+  mutable timeline : sample list;  (* newest first; reversed on read *)
+  mutable next_sample : int;
+  (* open-loop accounting, all zero for closed-loop runs *)
+  mutable arrivals : int;
+  mutable served : int;
+  mutable reclaimer_wakes : int;
+  queue_delay : Histogram.t;
+  sojourn : Histogram.t;
+}
+
+let create ~threads ~sample_every =
+  {
+    sample_every;
+    latencies = Array.init (max threads 1) (fun _ -> Histogram.create ());
+    unreclaimed_sum = 0;
+    unreclaimed_peak = 0;
+    samples = 0;
+    timeline = [];
+    next_sample = sample_every;
+    arrivals = 0;
+    served = 0;
+    reclaimer_wakes = 0;
+    queue_delay = Histogram.create ();
+    sojourn = Histogram.create ();
+  }
+
+(* Record one per-op unreclaimed-count sample (the paper's Fig. 9/10
+   metric is the mean of these). *)
+let observe m u =
+  if u > m.unreclaimed_peak then m.unreclaimed_peak <- u;
+  m.unreclaimed_sum <- m.unreclaimed_sum + u;
+  m.samples <- m.samples + 1
+
+(* Append a timeline point when a sampling period boundary has passed.
+   [resident_of] is a thunk so the metrics snapshot is only taken on the
+   (rare) op that crosses a boundary. *)
+let maybe_sample m ~at resident_of u =
+  if m.sample_every > 0 && at >= m.next_sample then begin
+    m.timeline <-
+      { s_at = at; s_resident = resident_of (); s_unreclaimed = u }
+      :: m.timeline;
+    while m.next_sample <= at do
+      m.next_sample <- m.next_sample + m.sample_every
+    done
+  end
+
+let add_latency m tid v = Histogram.add m.latencies.(tid) v
+
+let merged_latency m =
+  let h = Histogram.create () in
+  Array.iter (Histogram.merge h) m.latencies;
+  h
+
+let timeline m = List.rev m.timeline
+let peak_unreclaimed m = m.unreclaimed_peak
+
+let avg_unreclaimed m =
+  if m.samples = 0 then 0.0
+  else float_of_int m.unreclaimed_sum /. float_of_int m.samples
+
+(* -- open-loop hooks ----------------------------------------------------- *)
+
+let arrived m = m.arrivals <- m.arrivals + 1
+
+let served m ~queue ~sojourn =
+  m.served <- m.served + 1;
+  Histogram.add m.queue_delay queue;
+  Histogram.add m.sojourn sojourn
+
+let reclaimer_woke m = m.reclaimer_wakes <- m.reclaimer_wakes + 1
+
+let service_stats m ~hot_ops =
+  {
+    sv_arrivals = m.arrivals;
+    sv_served = m.served;
+    sv_hot_ops = hot_ops;
+    sv_reclaimer_wakes = m.reclaimer_wakes;
+    sv_queue = m.queue_delay;
+    sv_sojourn = m.sojourn;
+  }

@@ -96,9 +96,10 @@ let run (module D : Registry.CONC_SET) (spec : spec) : result =
     for _ = 1 to spec.ops_per_thread do
       let key = Random.State.int rng spec.key_range in
       let dice = Random.State.int rng 100 in
-      if dice < spec.mix.Workload.read_pct then ignore (D.contains set key)
-      else if dice land 1 = 0 then ignore (D.insert set key)
-      else ignore (D.remove set key)
+      (match Traffic.op_of_dice spec.mix dice with
+      | Traffic.Read -> ignore (D.contains set key)
+      | Traffic.Insert -> ignore (D.insert set key)
+      | Traffic.Delete -> ignore (D.remove set key))
     done
   in
   let t0 = Unix.gettimeofday () in
@@ -176,6 +177,7 @@ let spec_to_json (s : spec) : Json.t =
       ("prefill", Json.Int s.prefill);
       ("ops_per_thread", Json.Int s.ops_per_thread);
       ("read_pct", Json.Int s.mix.Workload.read_pct);
+      ("insert_pct", Json.Int s.mix.Workload.insert_pct);
       ("seed", Json.Int s.seed);
       ("buckets", Json.Int s.buckets);
       ( "cfg",
@@ -205,7 +207,7 @@ let spec_of_json (j : Json.t) : spec =
     key_range = i "key_range" j;
     prefill = i "prefill" j;
     ops_per_thread = i "ops_per_thread" j;
-    mix = { Workload.read_pct = i "read_pct" j };
+    mix = { Workload.read_pct = i "read_pct" j; insert_pct = i "insert_pct" j };
     seed = i "seed" j;
     buckets = i "buckets" j;
     cfg =

@@ -20,6 +20,7 @@ type cell = {
   seed : int option;
   sample_every : int;
   churn : Workload.churn option;
+  service : Workload.service option;
 }
 
 type t = { name : string; cells : cell list }
@@ -81,11 +82,17 @@ let spec_of_cell (c : cell) : Workload.spec =
     | None -> preset_budget * max 1 (c.threads / 4)
   in
   let prefill = Option.value c.prefill ~default:preset_prefill in
-  (* Churn lanes need their own slots on top of the static threads. *)
+  (* Churn lanes need their own slots on top of the static threads, and
+     so does the background-reclaimer service thread, when configured. *)
   let lanes =
     match c.churn with None -> 0 | Some ch -> max 1 ch.Workload.lanes
   in
-  let max_threads = c.threads + c.stalled + 1 + lanes in
+  let reclaimer_threads =
+    match c.service with
+    | Some { Traffic.reclaimer = Traffic.No_reclaimer; _ } | None -> 0
+    | Some _ -> 1
+  in
+  let max_threads = c.threads + c.stalled + 1 + lanes + reclaimer_threads in
   let cfg =
     match c.cfg with
     | Some cfg -> { cfg with Smr.Smr_intf.max_threads }
@@ -105,14 +112,15 @@ let spec_of_cell (c : cell) : Workload.spec =
     sample_every = c.sample_every;
     churn = c.churn;
     op_body;
+    service = c.service;
   }
 
 (* -- builders ------------------------------------------------------------- *)
 
 let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
     ?(mix = Workload.write_heavy) ?budget ?prefill ?key_range
-    ?(use_trim = false) ?cfg ?seed ?(sample_every = 0) ?churn ~scheme
-    ~structure ~threads () =
+    ?(use_trim = false) ?cfg ?seed ?(sample_every = 0) ?churn ?service
+    ~scheme ~structure ~threads () =
   {
     scheme;
     label = Option.value label ~default:scheme;
@@ -130,6 +138,7 @@ let cell ?label ?(arch = Registry.X86) ?(scale = Quick) ?(stalled = 0)
     seed;
     sample_every;
     churn;
+    service;
   }
 
 let grid ~name ?(arch = Registry.X86) ?(scale = Quick)
@@ -225,6 +234,85 @@ let churn_sweep ?(scale = Quick) () =
         [ "Epoch"; "HP"; "HE"; "IBR"; "Hyaline-1"; "Hyaline" ];
   }
 
+(* The million-user session-cache service sweep (ROADMAP item 1): the
+   open-loop driver plays a cache shard's day in miniature — Zipfian keys
+   with a mid-run hot-key storm, a 3:1 read:write client-tier split,
+   bursty request arrivals, connection churn via session lanes, two
+   permanently stalled readers and a byte budget arming the OOM
+   protocol. Non-robust Epoch cannot reclaim past the stalled readers:
+   its resident bytes climb toward the budget (and over it, OOMing the
+   cell) while robust Hyaline-S plateaus and keeps serving with a bounded
+   sojourn tail — the contrast {!Figures.service} turns into a verdict.
+   A periodic background reclaimer thread gives every scheme its best
+   shot at draining limbo between requests. *)
+let service_sweep ?(scale = Quick) () =
+  let budget = match scale with Quick -> 600_000 | Full -> 1_800_000 in
+  let sample_every = budget / 40 in
+  let sessions = match scale with Quick -> 160 | Full -> 640 in
+  let storm =
+    {
+      Traffic.storm_at = budget * 2 / 5;
+      storm_len = budget / 4;
+      storm_keys = 8;
+      storm_pct = 50;
+    }
+  in
+  let tiers =
+    [
+      {
+        Traffic.tier_name = "readers";
+        tier_mix = { Workload.read_pct = 90; insert_pct = 5 };
+        tier_weight = 1;
+      };
+      {
+        Traffic.tier_name = "writers";
+        tier_mix = { Workload.read_pct = 0; insert_pct = 40 };
+        tier_weight = 1;
+      };
+    ]
+  in
+  let service =
+    {
+      Traffic.arrival =
+        Traffic.Bursty
+          {
+            mean_gap = 90;
+            burst_gap = 45;
+            burst_every = budget / 4;
+            burst_len = budget / 40;
+          };
+      keys = Traffic.Zipf { theta = 0.9 };
+      storm = Some storm;
+      tiers;
+      reclaimer = Traffic.Periodic (budget / 200);
+    }
+  in
+  let churn = { Workload.sessions; session_ops = 4; lanes = 4 } in
+  let cfg =
+    {
+      (base_cfg ~max_threads:1) with
+      Smr.Smr_intf.slots = 16;
+      batch_size = 8;
+      era_freq = 16;
+      ack_threshold = 16;
+      (* Sited between the robust schemes' plateau (≤ ~90KB) and the
+         hostage-horizon trajectory Epoch / plain Hyaline follow under
+         two stalled readers (~20KB per 100k steps): both cross it
+         late in the run, and the relief scan frees nothing their
+         frozen horizons hold — a deterministic simulated OOM. *)
+      budget_bytes = Some 140_000;
+    }
+  in
+  let mk scheme =
+    cell ~scale ~stalled:2 ~budget ~sample_every ~cfg ~seed:13 ~prefill:128
+      ~key_range:256 ~churn ~service ~scheme ~structure:Registry.Hashmap
+      ~threads:8 ()
+  in
+  {
+    name = "service";
+    cells = List.map mk [ "Epoch"; "HP"; "HE"; "IBR"; "Hyaline"; "Hyaline-S" ];
+  }
+
 (* -- identity ------------------------------------------------------------- *)
 
 (* The key renders the RESOLVED run inputs, not the sugar that produced
@@ -254,14 +342,23 @@ let cell_key (c : cell) : string =
     costs.Smr_runtime.Sim_cell.read costs.Smr_runtime.Sim_cell.write
     costs.Smr_runtime.Sim_cell.cas costs.Smr_runtime.Sim_cell.faa
     costs.Smr_runtime.Sim_cell.swap costs.Smr_runtime.Sim_cell.alloc
-  (* Appended only when churn is configured, so every pre-existing
-     churn-free cache key (and entry) stays byte-identical. *)
+  (* The segments below are appended only when the feature they describe
+     is configured, so every pre-existing cache key (and entry) stays
+     byte-identical: a balanced mix is the historical implicit 50/50
+     insert/delete split, a churn-free closed-loop cell gets neither
+     suffix. *)
+  ^ (if Traffic.balanced s.Workload.mix then ""
+     else
+       Printf.sprintf "|insert_pct=%d" s.Workload.mix.Workload.insert_pct)
+  ^ (match s.Workload.churn with
+    | None -> ""
+    | Some ch ->
+        Printf.sprintf "|churn=%d,%d,%d" ch.Workload.sessions
+          ch.Workload.session_ops ch.Workload.lanes)
   ^
-  match s.Workload.churn with
+  match s.Workload.service with
   | None -> ""
-  | Some ch ->
-      Printf.sprintf "|churn=%d,%d,%d" ch.Workload.sessions
-        ch.Workload.session_ops ch.Workload.lanes
+  | Some sv -> "|service=" ^ Traffic.service_key sv
 
 let cell_hash c = Digest.to_hex (Digest.string (cell_key c))
 

@@ -39,6 +39,10 @@ type cell = {
   churn : Workload.churn option;
       (** session-thread churn model; [max_threads] grows by the lane
           count so sessions always have slots to claim *)
+  service : Workload.service option;
+      (** open-loop traffic description; [None] is the closed-loop
+          driver. [max_threads] grows by one when a background reclaimer
+          is configured. *)
 }
 
 type t = { name : string; cells : cell list }
@@ -71,6 +75,7 @@ val cell :
   ?seed:int ->
   ?sample_every:int ->
   ?churn:Workload.churn ->
+  ?service:Workload.service ->
   scheme:string ->
   structure:Registry.structure ->
   threads:int ->
@@ -100,6 +105,15 @@ val footprint : ?scale:scale -> unit -> t
     hashmap with 2 stalled readers across Epoch / IBR / HP / Hyaline /
     Hyaline-S, plus a no-stall Epoch baseline, each cell sampling a
     resident-bytes timeline every [budget/40] cost units. *)
+
+val service_sweep : ?scale:scale -> unit -> t
+(** The session-cache service sweep (ROADMAP item 1): an open-loop
+    hashmap cell per scheme (Epoch / HP / HE / IBR / Hyaline /
+    Hyaline-S) with bursty Zipfian traffic, a mid-run hot-key storm,
+    read/write client tiers, connection churn, 2 stalled readers, a
+    periodic background reclaimer and a [budget_bytes] pressure cap —
+    the scenario behind [figures.exe service] and its machine-checked
+    robustness verdict. *)
 
 val churn_sweep : ?scale:scale -> unit -> t
 (** Thread-churn sweep: for each of Epoch / HP / HE / IBR / Hyaline-1 /

@@ -112,6 +112,7 @@ module Stack_set (Scheme : SMR) : CONC_SET = struct
   end)
 
   let flush = Impl.flush
+  let relieve = Impl.relieve
   let stats = Impl.stats
   let metrics = Impl.metrics
 end
@@ -154,6 +155,7 @@ module Queue_set (Scheme : SMR) : CONC_SET = struct
   end)
 
   let flush = Impl.flush
+  let relieve = Impl.relieve
   let stats = Impl.stats
   let metrics = Impl.metrics
 end

@@ -12,7 +12,7 @@
     against the schema (see DESIGN.md §6) so CI can assert that the
     artifact stays well-formed and covers every registered scheme. *)
 
-let schema_version = 3
+let schema_version = 4
 
 type point = {
   scheme : string;
@@ -56,6 +56,10 @@ let latency_json (h : Histogram.t) =
       ("mean", Json.Float (Histogram.mean h));
       ("p50", Json.Int (Histogram.percentile h 50));
       ("p99", Json.Int (Histogram.percentile h 99));
+      (* Schema v4: interpolated tail quantile — the SLO number the
+         service sweep keys on; the bucketed integer percentiles above
+         cannot resolve p999. *)
+      ("p999", Json.Float (Histogram.percentile_interp h 99.9));
       ("max", Json.Int h.Histogram.max);
     ]
 
@@ -116,23 +120,41 @@ let point_json (p : point) =
              ("adopted", Json.Int (v "adopted"));
            ]) );
     ]
+    @ (match p.r.Workload.churn with
+      | None -> []
+      | Some c ->
+          [
+            ( "churn",
+              Json.Obj
+                [
+                  ("joins", Json.Int c.Workload.c_joins);
+                  ("leaves", Json.Int c.Workload.c_leaves);
+                  ("session_ops", Json.Int c.Workload.c_session_ops);
+                  ("slot_reuses", Json.Int c.Workload.c_reuses);
+                  ( "avg_reuse_latency",
+                    Json.Float c.Workload.c_avg_reuse_latency );
+                  ("orphaned", Json.Int c.Workload.c_orphaned);
+                  ("adopted", Json.Int c.Workload.c_adopted);
+                  ("orphan_backlog", Json.Int c.Workload.c_orphan_backlog);
+                ] );
+          ])
     @
-    match p.r.Workload.churn with
+    (* Schema v4: open-loop service accounting — arrival/served counts and
+       the two SLO histograms (queue delay = arrival-to-service-start,
+       sojourn = arrival-to-completion). Appears only for open-loop runs. *)
+    match p.r.Workload.service with
     | None -> []
-    | Some c ->
+    | Some sv ->
         [
-          ( "churn",
+          ( "service",
             Json.Obj
               [
-                ("joins", Json.Int c.Workload.c_joins);
-                ("leaves", Json.Int c.Workload.c_leaves);
-                ("session_ops", Json.Int c.Workload.c_session_ops);
-                ("slot_reuses", Json.Int c.Workload.c_reuses);
-                ( "avg_reuse_latency",
-                  Json.Float c.Workload.c_avg_reuse_latency );
-                ("orphaned", Json.Int c.Workload.c_orphaned);
-                ("adopted", Json.Int c.Workload.c_adopted);
-                ("orphan_backlog", Json.Int c.Workload.c_orphan_backlog);
+                ("arrivals", Json.Int sv.Workload.sv_arrivals);
+                ("served", Json.Int sv.Workload.sv_served);
+                ("hot_ops", Json.Int sv.Workload.sv_hot_ops);
+                ("reclaimer_wakes", Json.Int sv.Workload.sv_reclaimer_wakes);
+                ("queue", latency_json sv.Workload.sv_queue);
+                ("sojourn", latency_json sv.Workload.sv_sojourn);
               ] );
         ])
 
@@ -170,6 +192,7 @@ type parsed_point = {
   p_series : (string * int) list;
   p_registration : registration;
   p_churn : churn option;
+  p_service : service option;
 }
 
 and registration = {
@@ -192,6 +215,17 @@ and churn = {
   pc_orphan_backlog : int;
 }
 
+and service = {
+  ps_arrivals : int;
+  ps_served : int;
+  ps_hot_ops : int;
+  ps_reclaimer_wakes : int;
+  ps_queue_p99 : int;
+  ps_sojourn_p50 : int;
+  ps_sojourn_p99 : int;
+  ps_sojourn_p999 : float;
+}
+
 type parsed = {
   p_name : string;
   p_arch : string;
@@ -210,6 +244,7 @@ let parse_point j =
     raise (Parse_error "latency.buckets: wrong bucket count");
   ignore (to_int (member_exn "count" latency));
   ignore (to_float (member_exn "mean" latency));
+  ignore (to_float (member_exn "p999" latency));
   (* Every op class must be a {count, cost} pair. *)
   List.iter
     (fun cls ->
@@ -274,6 +309,24 @@ let parse_point j =
             pc_orphan_backlog = to_int (member_exn "orphan_backlog" c);
           })
         (member "churn" j);
+    p_service =
+      Option.map
+        (fun s ->
+          let hist_scalar name p =
+            to_int (member_exn p (member_exn name s))
+          in
+          {
+            ps_arrivals = to_int (member_exn "arrivals" s);
+            ps_served = to_int (member_exn "served" s);
+            ps_hot_ops = to_int (member_exn "hot_ops" s);
+            ps_reclaimer_wakes = to_int (member_exn "reclaimer_wakes" s);
+            ps_queue_p99 = hist_scalar "queue" "p99";
+            ps_sojourn_p50 = hist_scalar "sojourn" "p50";
+            ps_sojourn_p99 = hist_scalar "sojourn" "p99";
+            ps_sojourn_p999 =
+              to_float (member_exn "p999" (member_exn "sojourn" s));
+          })
+        (member "service" j);
   }
 
 let parse j =

@@ -1,0 +1,378 @@
+(** The million-user session-cache service figure (ROADMAP item 1): run
+    {!Plan.service_sweep} — one open-loop cell per scheme with bursty
+    Zipfian traffic, a mid-run hot-key storm, read/write client tiers,
+    connection churn, 2 stalled readers, a periodic background reclaimer
+    and a [budget_bytes] pressure cap — and reduce each cell to an
+    SLO row: served ops, sojourn p50/p99/p999 (arrival-to-completion,
+    the client-visible latency), queue-delay p99, and the resident-byte
+    trajectory.
+
+    The machine-checked verdict is the paper's robustness claim restated
+    as an SLO: under the storm + stalled readers + pressure spike,
+    Hyaline-S {e keeps serving} with a bounded p999 and a plateaued
+    resident footprint, while Epoch's footprint — hostage to the stalled
+    readers' horizon — either diverges (≥ 2× Hyaline-S resident) or hits
+    the byte budget and OOMs. The verdict line is greppable by
+    [tools/check.sh] and CI; the artifact is [BENCH_service.json]. *)
+
+let schema_version = 1
+
+type row = {
+  label : string;
+  error : string option;  (** [Some msg] for a failed cell (e.g. "OOM: …") *)
+  ops : int;
+  arrivals : int;
+  served : int;
+  hot_ops : int;
+  reclaimer_wakes : int;
+  queue_p99 : int;
+  sojourn_p50 : int;
+  sojourn_p99 : int;
+  sojourn_p999 : float;
+  resident_final : int;
+  resident_hwm : int;
+  oom_failures : int;
+  timeline : Workload.sample list;
+}
+
+type verdict = {
+  v_ok : bool;
+  v_kept_serving : bool;  (** Hyaline-S completed and served arrivals *)
+  v_tail_bounded : bool;  (** Hyaline-S sojourn p999 ≤ [v_tail_bound] *)
+  v_tail_bound : float;
+  v_plateaued : bool;  (** Hyaline-S final resident ≤ 2× mid-run resident *)
+  v_epoch_diverged : bool;  (** Epoch OOMed or resident ≥ 2× Hyaline-S *)
+  v_epoch_oom : bool;
+  v_summary : string;  (** the greppable one-liner, sans prefix *)
+}
+
+type t = { scale : Plan.scale; budget : int; rows : row list; verdict : verdict }
+
+(* -- collection ---------------------------------------------------------- *)
+
+let row_of_result label (r : Workload.result) =
+  let m = r.Workload.metrics.Smr.Metrics.mem in
+  let sv = r.Workload.service in
+  let svi f d = match sv with Some s -> f s | None -> d in
+  {
+    label;
+    error = None;
+    ops = r.Workload.ops;
+    arrivals = svi (fun s -> s.Workload.sv_arrivals) 0;
+    served = svi (fun s -> s.Workload.sv_served) 0;
+    hot_ops = svi (fun s -> s.Workload.sv_hot_ops) 0;
+    reclaimer_wakes = svi (fun s -> s.Workload.sv_reclaimer_wakes) 0;
+    queue_p99 = svi (fun s -> Histogram.percentile s.Workload.sv_queue 99) 0;
+    sojourn_p50 = svi (fun s -> Histogram.percentile s.Workload.sv_sojourn 50) 0;
+    sojourn_p99 = svi (fun s -> Histogram.percentile s.Workload.sv_sojourn 99) 0;
+    sojourn_p999 =
+      svi (fun s -> Histogram.percentile_interp s.Workload.sv_sojourn 99.9) 0.0;
+    resident_final = m.Mem.Mem_intf.bytes_resident;
+    resident_hwm = m.Mem.Mem_intf.bytes_hwm;
+    oom_failures = m.Mem.Mem_intf.oom_failures;
+    timeline = r.Workload.timeline;
+  }
+
+let failed_row label msg =
+  {
+    label;
+    error = Some msg;
+    ops = 0;
+    arrivals = 0;
+    served = 0;
+    hot_ops = 0;
+    reclaimer_wakes = 0;
+    queue_p99 = 0;
+    sojourn_p50 = 0;
+    sojourn_p99 = 0;
+    sojourn_p999 = 0.0;
+    resident_final = 0;
+    resident_hwm = 0;
+    oom_failures = 0;
+    timeline = [];
+  }
+
+let is_oom = function Some m -> Executor.cacheable_failure m | None -> false
+
+(* Last timeline sample at or before [t]. *)
+let resident_at t (tl : Workload.sample list) =
+  List.fold_left
+    (fun acc (s : Workload.sample) ->
+      if s.Workload.s_at <= t then Some s.Workload.s_resident else acc)
+    None tl
+
+let find rows label =
+  List.find_opt (fun r -> String.equal r.label label) rows
+
+(* The SLO bar: p999 sojourn must stay under 1/50 of the whole run —
+   roughly 3× the tail the healthy preset measures, and far below the
+   "stopped serving" regime where queue delay grows with the run. *)
+let judge ~budget rows =
+  let tail_bound = float_of_int budget /. 50.0 in
+  let hs = find rows "Hyaline-S" in
+  let ep = find rows "Epoch" in
+  let kept_serving =
+    match hs with Some r -> r.error = None && r.served > 0 | None -> false
+  in
+  let tail_bounded =
+    match hs with
+    | Some r -> r.error = None && r.sojourn_p999 > 0.0 && r.sojourn_p999 <= tail_bound
+    | None -> false
+  in
+  let plateaued =
+    match hs with
+    | Some r -> (
+        match resident_at (budget / 2) r.timeline with
+        | Some mid -> mid > 0 && r.resident_final <= 2 * mid
+        | None -> false)
+    | None -> false
+  in
+  let epoch_oom = match ep with Some r -> is_oom r.error | None -> false in
+  let epoch_diverged =
+    epoch_oom
+    ||
+    match (ep, hs) with
+    | Some e, Some h ->
+        e.error = None && h.resident_final > 0
+        && e.resident_final >= 2 * h.resident_final
+    | _ -> false
+  in
+  let ok = kept_serving && tail_bounded && plateaued && epoch_diverged in
+  let summary =
+    if ok then
+      Printf.sprintf
+        "robust ok (Hyaline-S served %d, p999 %.0f <= %.0f, resident \
+         plateaued; Epoch %s)"
+        (match hs with Some r -> r.served | None -> 0)
+        (match hs with Some r -> r.sojourn_p999 | None -> 0.0)
+        tail_bound
+        (if epoch_oom then "OOM under pressure spike"
+         else
+           Printf.sprintf "resident %dB >= 2x"
+             (match ep with Some r -> r.resident_final | None -> 0))
+    else
+      Printf.sprintf
+        "FAIL (kept_serving=%b tail_bounded=%b plateaued=%b \
+         epoch_diverged=%b)"
+        kept_serving tail_bounded plateaued epoch_diverged
+  in
+  {
+    v_ok = ok;
+    v_kept_serving = kept_serving;
+    v_tail_bounded = tail_bounded;
+    v_tail_bound = tail_bound;
+    v_plateaued = plateaued;
+    v_epoch_diverged = epoch_diverged;
+    v_epoch_oom = epoch_oom;
+    v_summary = summary;
+  }
+
+let collect ?domains ?cache ?on_progress ~scale () =
+  let plan = Plan.service_sweep ~scale () in
+  let budget =
+    match plan.Plan.cells with
+    | c :: _ -> (Plan.spec_of_cell c).Workload.budget
+    | [] -> 0
+  in
+  let summary = Executor.run ?domains ?cache ?on_progress plan in
+  let rows =
+    List.map
+      (fun (r : Executor.row) ->
+        let label = r.Executor.cell.Plan.label in
+        match r.Executor.outcome with
+        | Executor.Done res -> row_of_result label res
+        | Executor.Failed msg -> failed_row label msg)
+      summary.Executor.rows
+  in
+  ({ scale; budget; rows; verdict = judge ~budget rows }, summary.Executor.stats)
+
+(* -- printing ------------------------------------------------------------ *)
+
+let print ppf t =
+  Fmt.pf ppf
+    "# Service — million-user session cache (open-loop bursty Zipf, hot-key \
+     storm, 2 stalled readers, byte budget)@.@.";
+  Fmt.pf ppf "%-11s %8s %8s %8s %7s %6s %6s %8s %6s %10s %10s %5s@." "scheme"
+    "ops" "arrived" "served" "hot" "q-p99" "p50" "p99" "p999" "resident"
+    "res-hwm" "recl";
+  List.iter
+    (fun r ->
+      match r.error with
+      | Some msg -> Fmt.pf ppf "%-11s FAILED: %s@." r.label msg
+      | None ->
+          Fmt.pf ppf "%-11s %8d %8d %8d %7d %6d %6d %8d %6.0f %10d %10d %5d@."
+            r.label r.ops r.arrivals r.served r.hot_ops r.queue_p99
+            r.sojourn_p50 r.sojourn_p99 r.sojourn_p999 r.resident_final
+            r.resident_hwm r.reclaimer_wakes)
+    t.rows;
+  (* Resident-byte trajectories on a shared clock — the "footprint
+     diverges vs plateaus" contrast, row by comparable row. *)
+  let ticks = 8 in
+  let grid = List.init ticks (fun i -> t.budget * (i + 1) / ticks) in
+  let ok_rows = List.filter (fun r -> r.error = None) t.rows in
+  Fmt.pf ppf "@.## resident bytes vs simulated time@.";
+  Fmt.pf ppf "%-10s" "time";
+  List.iter (fun r -> Fmt.pf ppf " %12s" r.label) ok_rows;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun tck ->
+      Fmt.pf ppf "%-10d" tck;
+      List.iter
+        (fun r ->
+          match resident_at tck r.timeline with
+          | Some b -> Fmt.pf ppf " %12d" b
+          | None -> Fmt.pf ppf " %12s" "-")
+        ok_rows;
+      Fmt.pf ppf "@.")
+    grid;
+  Fmt.pf ppf "@.service verdict: %s@." t.verdict.v_summary;
+  Fmt.pf ppf "@."
+
+(* -- JSON artifact ------------------------------------------------------- *)
+
+let row_json r =
+  Json.Obj
+    ([
+       ("label", Json.String r.label);
+       ("ok", Json.Bool (r.error = None));
+     ]
+    @ (match r.error with
+      | Some m -> [ ("error", Json.String m) ]
+      | None -> [])
+    @ [
+        ("ops", Json.Int r.ops);
+        ("arrivals", Json.Int r.arrivals);
+        ("served", Json.Int r.served);
+        ("hot_ops", Json.Int r.hot_ops);
+        ("reclaimer_wakes", Json.Int r.reclaimer_wakes);
+        ("queue_p99", Json.Int r.queue_p99);
+        ("sojourn_p50", Json.Int r.sojourn_p50);
+        ("sojourn_p99", Json.Int r.sojourn_p99);
+        ("sojourn_p999", Json.Float r.sojourn_p999);
+        ("resident_final", Json.Int r.resident_final);
+        ("resident_hwm", Json.Int r.resident_hwm);
+        ("oom_failures", Json.Int r.oom_failures);
+        ( "timeline",
+          Json.List
+            (List.map
+               (fun (s : Workload.sample) ->
+                 Json.Obj
+                   [
+                     ("at", Json.Int s.Workload.s_at);
+                     ("resident", Json.Int s.Workload.s_resident);
+                     ("unreclaimed", Json.Int s.Workload.s_unreclaimed);
+                   ])
+               r.timeline) );
+      ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("name", Json.String "service");
+      ("paper", Json.String "Hyaline (PODC 2019)");
+      ( "scale",
+        Json.String (match t.scale with Plan.Quick -> "quick" | Plan.Full -> "full")
+      );
+      ("budget", Json.Int t.budget);
+      ("rows", Json.List (List.map row_json t.rows));
+      ( "verdict",
+        Json.Obj
+          [
+            ("ok", Json.Bool t.verdict.v_ok);
+            ("kept_serving", Json.Bool t.verdict.v_kept_serving);
+            ("tail_bounded", Json.Bool t.verdict.v_tail_bounded);
+            ("tail_bound", Json.Float t.verdict.v_tail_bound);
+            ("plateaued", Json.Bool t.verdict.v_plateaued);
+            ("epoch_diverged", Json.Bool t.verdict.v_epoch_diverged);
+            ("epoch_oom", Json.Bool t.verdict.v_epoch_oom);
+            ("summary", Json.String t.verdict.v_summary);
+          ] );
+    ]
+
+(* -- parsing / validation ------------------------------------------------ *)
+
+type parsed_row = {
+  p_label : string;
+  p_ok : bool;
+  p_served : int;
+  p_sojourn_p999 : float;
+  p_resident_final : int;
+  p_timeline_len : int;
+}
+
+type parsed = {
+  p_scale : string;
+  p_budget : int;
+  p_rows : parsed_row list;
+  p_verdict_ok : bool;
+  p_summary : string;
+}
+
+let parse j =
+  let open Json in
+  let v = to_int (member_exn "schema_version" j) in
+  if v <> schema_version then
+    raise
+      (Parse_error (Printf.sprintf "service report: schema_version %d" v));
+  let row rj =
+    let ok = to_bool (member_exn "ok" rj) in
+    (* Every numeric field must type-check even on failed rows. *)
+    List.iter
+      (fun k -> ignore (to_int (member_exn k rj)))
+      [
+        "ops"; "arrivals"; "served"; "hot_ops"; "reclaimer_wakes";
+        "queue_p99"; "sojourn_p50"; "sojourn_p99"; "resident_final";
+        "resident_hwm"; "oom_failures";
+      ];
+    {
+      p_label = to_str (member_exn "label" rj);
+      p_ok = ok;
+      p_served = to_int (member_exn "served" rj);
+      p_sojourn_p999 = to_float (member_exn "sojourn_p999" rj);
+      p_resident_final = to_int (member_exn "resident_final" rj);
+      p_timeline_len = List.length (to_list (member_exn "timeline" rj));
+    }
+  in
+  let verdict = member_exn "verdict" j in
+  {
+    p_scale = to_str (member_exn "scale" j);
+    p_budget = to_int (member_exn "budget" j);
+    p_rows = List.map row (to_list (member_exn "rows" j));
+    p_verdict_ok = to_bool (member_exn "ok" verdict);
+    p_summary = to_str (member_exn "summary" verdict);
+  }
+
+(** The artifact must cover every scheme of the sweep, each surviving row
+    must carry a sampled timeline, and the verdict must hold. *)
+let validate parsed =
+  let required = [ "Epoch"; "HP"; "HE"; "IBR"; "Hyaline"; "Hyaline-S" ] in
+  let covered name =
+    List.exists (fun r -> String.equal r.p_label name) parsed.p_rows
+  in
+  let missing = List.filter (fun s -> not (covered s)) required in
+  if missing <> [] then
+    Error ("schemes missing from service report: " ^ String.concat ", " missing)
+  else
+    match
+      List.find_opt
+        (fun r -> r.p_ok && r.p_timeline_len = 0)
+        parsed.p_rows
+    with
+    | Some r -> Error (r.p_label ^ ": surviving row has no timeline")
+    | None ->
+        if not parsed.p_verdict_ok then
+          Error ("service verdict failed: " ^ parsed.p_summary)
+        else Ok ()
+
+let filename = "BENCH_service.json"
+
+let write ?dir t =
+  let path =
+    match dir with Some d -> Filename.concat d filename | None -> filename
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_json t)));
+  path

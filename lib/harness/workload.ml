@@ -1,16 +1,24 @@
-(** The §6 workload: prefill a set, then have N logical threads hammer it
-    with a read/insert/delete mix over a uniform key range, measuring
-    throughput (operations per simulated cost unit) and the paper's
-    Fig. 9/10 metric — the average number of retired-but-unreclaimed
-    objects sampled at every operation.
+(** The workload orchestrator: prefill a set, then drive it with one of
+    two {e traffic drivers} over the deterministic scheduler.
 
-    Beyond the headline numbers each run collects, at zero simulated cost:
-    per-op latencies (cost units per bracketed operation) in a fixed-bucket
-    {!Histogram}, the per-op-class cost breakdown from {!Sim_cell} (how
-    much of the budget went to loads vs stores vs CAS vs FAA), and the
-    scheme's full {!Smr.Metrics.snapshot} including its peak-unreclaimed
-    high-water mark. None of this perturbs the simulation: for a fixed
-    [(spec, seed)] the schedule, op count and consumed steps are
+    - The {b closed-loop} driver (the paper's §6 hammer): N logical
+      threads issue back-to-back operations over a uniform key range —
+      offered load equals capacity, throughput is the headline number.
+    - The {b open-loop} driver (enabled by [spec.service]): requests
+      arrive on a deterministic arrival process ({!Traffic.arrival}) fed
+      by the scheduler's cost clock; workers pull requests, sleeping
+      through idle gaps with {!Scheduler.sleep_until}, so queue delay and
+      arrival-to-completion sojourn are measured — the SLO view, where
+      reclamation stalls show up as p999 latency instead of lost
+      throughput. An optional background reclaimer thread
+      ({!Traffic.reclaimer}) drives the scheme's [flush] path.
+
+    Beyond the headline numbers each run collects, at zero simulated cost
+    (see {!Measure}): per-op latencies in fixed-bucket {!Histogram}s, the
+    per-op-class cost breakdown from {!Sim_cell}, footprint timelines,
+    open-loop queue/sojourn histograms, and the scheme's full
+    {!Smr.Metrics.snapshot}. None of this perturbs the simulation: for a
+    fixed [(spec, seed)] the schedule, op count and consumed steps are
     bit-identical to an uninstrumented run.
 
     Everything runs on the deterministic scheduler, so a (spec, seed) pair
@@ -18,10 +26,11 @@
 
 module Sched = Smr_runtime.Scheduler
 
-type mix = { read_pct : int  (** gets; the rest splits 50/50 insert/delete *) }
+type mix = Traffic.mix = { read_pct : int; insert_pct : int }
 
-let write_heavy = { read_pct = 0 }
-let read_mostly = { read_pct = 90 }
+let write_heavy = Traffic.write_heavy
+let read_mostly = Traffic.read_mostly
+let mix = Traffic.mix
 
 (** The churn model: short-lived {e session} threads that join the scheme,
     run a burst of operations, deregister and leave, with the next session
@@ -35,6 +44,8 @@ type churn = {
   session_ops : int;  (** operations each session performs while joined *)
   lanes : int;  (** concurrent session lanes *)
 }
+
+type service = Traffic.service
 
 type spec = {
   threads : int;
@@ -62,6 +73,11 @@ type spec = {
           Identical across schemes, so it only sets the ratio of useful
           work to SMR overhead (near zero for the list, whose long
           traversal is already fully charged). *)
+  service : service option;
+      (** when set, run the open-loop driver: arrivals, key distribution,
+          client tiers and the background reclaimer all come from here;
+          SLO accounting lands in [result.service]. [None] is the
+          closed-loop driver, bit-identical to the historical one. *)
 }
 
 let default_spec =
@@ -79,11 +95,14 @@ let default_spec =
     sample_every = 0;
     churn = None;
     op_body = 0;
+    service = None;
   }
 
-(** One footprint timeline point: simulated time into the measured phase,
-    resident allocator bytes, and retired-but-unreclaimed nodes. *)
-type sample = { s_at : int; s_resident : int; s_unreclaimed : int }
+type sample = Measure.sample = {
+  s_at : int;
+  s_resident : int;
+  s_unreclaimed : int;
+}
 
 (** Churn accounting for one run (present when [spec.churn] is set). All
     counters are collected by the harness at zero simulated cost; the
@@ -101,6 +120,15 @@ type churn_stats = {
   c_orphaned : int;  (** limbo nodes handed off by departing sessions *)
   c_adopted : int;  (** orphaned nodes adopted by later scans *)
   c_orphan_backlog : int;  (** orphaned - adopted after the final flush *)
+}
+
+type service_stats = Measure.service_stats = {
+  sv_arrivals : int;
+  sv_served : int;
+  sv_hot_ops : int;
+  sv_reclaimer_wakes : int;
+  sv_queue : Histogram.t;
+  sv_sojourn : Histogram.t;
 }
 
 type result = {
@@ -122,6 +150,8 @@ type result = {
           is positive *)
   churn : churn_stats option;
       (** churn accounting; present iff [spec.churn] was set *)
+  service : service_stats option;
+      (** open-loop SLO accounting; present iff [spec.service] was set *)
 }
 
 let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
@@ -132,13 +162,22 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
           loop could never terminate"
          spec.prefill spec.key_range);
   let set = D.create ~buckets:spec.buckets spec.cfg in
-  (* Pre-register every static thread (prefill + workers + stalled) in tid
-     order, from outside any simulated run: the charged stores of
-     [register] are free out here, the dense slots come out equal to the
-     tids, and the live-slot scans the schemes now run read exactly the
-     cells the old full-capacity scans read — so churn-free schedules (and
-     their pinned golden hashes) are bit-identical. *)
-  let static_tids = 1 + spec.threads + spec.stalled in
+  let reclaimer =
+    match spec.service with
+    | None -> Traffic.No_reclaimer
+    | Some sv -> sv.Traffic.reclaimer
+  in
+  let reclaimer_threads =
+    match reclaimer with Traffic.No_reclaimer -> 0 | _ -> 1
+  in
+  (* Pre-register every static thread (prefill + workers + stalled + the
+     background reclaimer, if any) in tid order, from outside any
+     simulated run: the charged stores of [register] are free out here,
+     the dense slots come out equal to the tids, and the live-slot scans
+     the schemes now run read exactly the cells the old full-capacity
+     scans read — so churn-free schedules (and their pinned golden
+     hashes) are bit-identical. *)
+  let static_tids = 1 + spec.threads + spec.stalled + reclaimer_threads in
   (match spec.churn with
   | None -> ()
   | Some ch ->
@@ -170,74 +209,115 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   Profile.add_steps "workload.prefill" steps0;
   let counts0 = Smr_runtime.Sim_cell.snapshot_counts () in
   let ops = Array.make spec.threads 0 in
-  let latencies = Array.init spec.threads (fun _ -> Histogram.create ()) in
-  (* Plain int accumulator: a float ref would box one float per measured
-     operation. The sum of per-op unreclaimed counts cannot overflow on
-     63-bit ints for any realistic budget. *)
-  let unreclaimed_sum = ref 0 in
-  let unreclaimed_peak = ref 0 in
-  let samples = ref 0 in
-  let timeline = ref [] in
-  let next_sample = ref spec.sample_every in
-  let one_op rng g =
+  let meas = Measure.create ~threads:spec.threads ~sample_every:spec.sample_every in
+  let resident_of () =
+    (D.metrics set).Smr.Metrics.mem.Mem.Mem_intf.bytes_resident
+  in
+  (* The per-op core both drivers share: charge the op body, draw the key
+     and the mix dice from the worker's own RNG (in that order — the
+     closed-loop draw sequence is part of the golden schedules), run the
+     chosen operation and record the unreclaimed/timeline samples. *)
+  let one_op rng ~mix ~key g =
     if spec.op_body > 0 then Sched.step spec.op_body;
-    let key = Random.State.int rng spec.key_range in
+    let key = key rng in
     let dice = Random.State.int rng 100 in
-    (if dice < spec.mix.read_pct then ignore (D.contains_with set g key)
-     else if dice land 1 = 0 then ignore (D.insert_with set g key)
-     else ignore (D.remove_with set g key));
+    (match Traffic.op_of_dice mix dice with
+    | Traffic.Read -> ignore (D.contains_with set g key)
+    | Traffic.Insert -> ignore (D.insert_with set g key)
+    | Traffic.Delete -> ignore (D.remove_with set g key));
     let s = D.stats set in
     let u = Smr.Smr_intf.unreclaimed s in
-    if u > !unreclaimed_peak then unreclaimed_peak := u;
-    unreclaimed_sum := !unreclaimed_sum + u;
-    incr samples;
-    if spec.sample_every > 0 then begin
-      let at = Sched.now sched - steps0 in
-      if at >= !next_sample then begin
-        let m = D.metrics set in
-        timeline :=
-          {
-            s_at = at;
-            s_resident = m.Smr.Metrics.mem.Mem.Mem_intf.bytes_resident;
-            s_unreclaimed = u;
-          }
-          :: !timeline;
-        while !next_sample <= at do
-          next_sample := !next_sample + spec.sample_every
-        done
-      end
-    end
+    Measure.observe meas u;
+    if spec.sample_every > 0 then
+      Measure.maybe_sample meas ~at:(Sched.now sched - steps0) resident_of u
   in
-  let worker tid () =
+  let uniform_key rng = Random.State.int rng spec.key_range in
+  (* Open-loop driver state: one shared arrival stream and key generator
+     (workers pull requests in schedule order), one mix per worker tier. *)
+  let open_state =
+    match spec.service with
+    | None -> None
+    | Some sv ->
+        Some
+          ( Traffic.arrivals ~start:steps0 ~seed:spec.seed sv.Traffic.arrival,
+            Traffic.keygen ?storm:sv.Traffic.storm ~key_range:spec.key_range
+              sv.Traffic.keys,
+            Traffic.tier_mixes ~threads:spec.threads ~default:spec.mix
+              sv.Traffic.tiers )
+  in
+  let closed_worker tid () =
     let rng = Random.State.make [| spec.seed; tid |] in
     if spec.use_trim then begin
       let g = ref (D.enter set) in
       while true do
         let t0 = Sched.now sched in
-        one_op rng !g;
+        one_op rng ~mix:spec.mix ~key:uniform_key !g;
         ops.(tid) <- ops.(tid) + 1;
         g := D.refresh set !g;
-        Histogram.add latencies.(tid) (Sched.now sched - t0)
+        Measure.add_latency meas tid (Sched.now sched - t0)
       done
     end
     else
       while true do
         let t0 = Sched.now sched in
         let g = D.enter set in
-        one_op rng g;
+        one_op rng ~mix:spec.mix ~key:uniform_key g;
         D.leave set g;
-        Histogram.add latencies.(tid) (Sched.now sched - t0);
+        Measure.add_latency meas tid (Sched.now sched - t0);
         ops.(tid) <- ops.(tid) + 1
       done
   in
+  (* Open-loop worker: pull the next request from the shared arrival
+     stream, sleep through the idle gap if it has not arrived yet (the
+     scheduler fast-forwards when everyone is idle — idle servers burn no
+     budget), then serve it. Queue delay is service start minus arrival;
+     sojourn is completion minus arrival — the client-visible latency. *)
+  let open_worker (stream, kg, mixes) tid () =
+    let rng = Random.State.make [| spec.seed; tid |] in
+    let mix = mixes.(tid) in
+    let svc_key rng =
+      Traffic.key kg rng ~now:(Sched.now sched - steps0)
+        ~key_range:spec.key_range
+    in
+    let serve g =
+      let arrival = Traffic.next_arrival stream in
+      Measure.arrived meas;
+      if arrival > Sched.now sched then Sched.sleep_until arrival;
+      let t0 = Sched.now sched in
+      one_op rng ~mix ~key:svc_key g;
+      let fin = Sched.now sched in
+      Measure.served meas ~queue:(t0 - arrival) ~sojourn:(fin - arrival);
+      Measure.add_latency meas tid (fin - t0);
+      ops.(tid) <- ops.(tid) + 1
+    in
+    if spec.use_trim then begin
+      let g = ref (D.enter set) in
+      while true do
+        serve !g;
+        g := D.refresh set !g
+      done
+    end
+    else
+      while true do
+        let g = D.enter set in
+        serve g;
+        D.leave set g
+      done
+  in
   for tid = 0 to spec.threads - 1 do
-    ignore (Sched.spawn sched (worker tid))
+    ignore
+      (Sched.spawn sched
+         (match open_state with
+         | None -> closed_worker tid
+         | Some st -> open_worker st tid))
   done;
   (* Churn lanes: each lane chains its sessions with [spawn_at], so every
      session is a first-class Ev_join/Ev_leave churn thread. All harness
      bookkeeping here is plain OCaml (uncosted); the only charged work is
      what the scheme itself does in register/enter/ops/leave/deregister —
-     the per-churn overhead the figures driver reports. *)
+     the per-churn overhead the figures driver reports. Sessions always
+     drive closed-loop op generation (spec.mix, uniform keys): they model
+     connection churn, not the request stream. *)
   let c_joins = ref 0 in
   let c_leaves = ref 0 in
   let c_session_ops = ref 0 in
@@ -259,7 +339,7 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
         end;
         let g = D.enter set in
         for _ = 1 to ch.session_ops do
-          one_op rng g;
+          one_op rng ~mix:spec.mix ~key:uniform_key g;
           incr c_session_ops
         done;
         D.leave set g;
@@ -288,6 +368,34 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
            ignore (D.contains_with set g 0);
            Sched.stall ()))
   done;
+  (* The background reclaimer (open-loop only): a service thread driving
+     the scheme's mid-run-safe [relieve] path — scans for the baseline
+     schemes, allocation-free batch sealing for the Hyaline engines (the
+     quiescence-only [flush] would pad partial batches with dummy
+     allocations mid-run, inflating the very footprint it exists to
+     bound). Its tid is the last pre-registered static slot, so any
+     pressure-triggered per-thread relief from inside its scans resolves
+     to a registered slot. *)
+  (match reclaimer with
+  | Traffic.No_reclaimer -> ()
+  | Traffic.Periodic period ->
+      let period = max 1 period in
+      ignore
+        (Sched.spawn sched (fun () ->
+             while true do
+               Sched.sleep_until (Sched.now sched + period);
+               D.relieve set;
+               Measure.reclaimer_woke meas
+             done))
+  | Traffic.Dedicated round_cost ->
+      let round_cost = max 1 round_cost in
+      ignore
+        (Sched.spawn sched (fun () ->
+             while true do
+               D.relieve set;
+               Measure.reclaimer_woke meas;
+               Sched.step round_cost
+             done)));
   (match
      Profile.time "workload.measured" (fun () ->
          Sched.run ~budget:spec.budget sched)
@@ -297,12 +405,17 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
   let steps = Sched.now sched - steps0 in
   Profile.add_steps "workload.measured" steps;
   let total_ops = Array.fold_left ( + ) 0 ops + !c_session_ops in
-  let latency = Histogram.create () in
-  Array.iter (Histogram.merge latency) latencies;
+  let latency = Measure.merged_latency meas in
   (* Capture the result views before the churn teardown flush below can
      perturb them. *)
   let final_stats = D.stats set in
   let final_metrics = D.metrics set in
+  let service_stats =
+    match open_state with
+    | None -> None
+    | Some (_, kg, _) ->
+        Some (Measure.service_stats meas ~hot_ops:(Traffic.hot_ops kg))
+  in
   let churn_stats =
     match spec.churn with
     | None -> None
@@ -337,10 +450,8 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
     throughput =
       (if steps = 0 then 0.0
        else 1000.0 *. float_of_int total_ops /. float_of_int steps);
-    avg_unreclaimed =
-      (if !samples = 0 then 0.0
-       else float_of_int !unreclaimed_sum /. float_of_int !samples);
-    peak_unreclaimed = !unreclaimed_peak;
+    avg_unreclaimed = Measure.avg_unreclaimed meas;
+    peak_unreclaimed = Measure.peak_unreclaimed meas;
     final = final_stats;
     metrics = final_metrics;
     latency;
@@ -348,6 +459,7 @@ let run (module D : Smr_ds.Ds_intf.CONC_SET) (spec : spec) : result =
       Smr_runtime.Sim_cell.diff_counts
         ~now:(Smr_runtime.Sim_cell.snapshot_counts ())
         ~past:counts0;
-    timeline = List.rev !timeline;
+    timeline = Measure.timeline meas;
     churn = churn_stats;
+    service = service_stats;
   }

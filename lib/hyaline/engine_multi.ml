@@ -327,6 +327,19 @@ struct
     let k = Dir.k t.dir in
     if p.len >= max t.cfg.batch_size (k + 1) then seal_pending t p ~k
 
+  (* Mid-run reclaimer entry point: seal every pending batch that already
+     holds the mandatory k+1 nodes, across all slots — [relieve_pressure]
+     for the whole directory. Allocation-free ([seal_pending] snapshots
+     and resets the pending record with no cost point in between, so no
+     concurrent retire can interleave on the cooperative runtime); a
+     batch still short of k+1 is left to fill, never padded. *)
+  let relieve t =
+    let k = Dir.k t.dir in
+    for sid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(sid) in
+      if p.len > k then seal_pending t p ~k
+    done
+
   (* Finalize partial batches by padding with dummy nodes (§2.4: "they can
      be immediately finalized by allocating a finite number of dummy
      nodes"). Dummies run through the normal lifecycle so the books stay

@@ -220,6 +220,17 @@ struct
     p.len <- p.len + 1;
     if p.len >= effective_batch t then seal_pending t p
 
+  (* Mid-run reclaimer entry point: seal every pending batch that already
+     exceeds the slot count, across all slots — [relieve_pressure] for
+     the whole table. Allocation-free; short batches are left to fill,
+     never padded. *)
+  let relieve t =
+    let needed = Array.length t.slots in
+    for sid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(sid) in
+      if p.len > needed then seal_pending t p
+    done
+
   (* Every slot ever used, live or not: a departed thread's pending batch
      stays behind for recycling and must still be drained at teardown. *)
   let flush t =

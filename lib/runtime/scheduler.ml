@@ -99,6 +99,15 @@ type t = {
       (* activation time of the queue head, [max_int] when empty — folded
          into the step fast path's deadline test so churn-free runs pay
          nothing and draw the RNG exactly as before *)
+  mutable sleep_queue : (int * int) list;
+      (* [(wake_at, tid)] for threads parked by [sleep_until], sorted by
+         wake time (stable for equal times); woken by the run loop *)
+  mutable next_wake : int;
+      (* wake time of the sleep-queue head, [max_int] when empty *)
+  mutable next_timed : int;
+      (* [min next_spawn next_wake], cached so the step fast path keeps
+         its single timer compare. Timer-free runs hold [max_int] here
+         and draw the RNG exactly as before. *)
   mutable tracer : (event -> unit) option;
   mutable handler : (unit, unit) Effect.Deep.handler;
       (* the one deep handler shared by every fiber of this scheduler,
@@ -223,6 +232,9 @@ let create ?(seed = 42) () =
       on_decision = None;
       spawn_queue = [];
       next_spawn = max_int;
+      sleep_queue = [];
+      next_wake = max_int;
+      next_timed = max_int;
       tracer = None;
       handler = dummy_handler;
     }
@@ -231,6 +243,10 @@ let create ?(seed = 42) () =
   t
 
 let emit t ev = match t.tracer with None -> () | Some f -> f ev
+
+let[@inline] refresh_timed t =
+  t.next_timed <-
+    (if t.next_spawn < t.next_wake then t.next_spawn else t.next_wake)
 
 let spawn_thread t ~churn f =
   let tid = t.count in
@@ -275,9 +291,10 @@ let spawn_at t ~at f =
     | entry :: rest -> entry :: insert rest
   in
   t.spawn_queue <- insert t.spawn_queue;
-  match t.spawn_queue with
+  (match t.spawn_queue with
   | (a, _) :: _ -> t.next_spawn <- a
-  | [] -> assert false
+  | [] -> assert false);
+  refresh_timed t
 
 (* Activate every queued join that is due at the current clock. *)
 let activate_due t =
@@ -290,9 +307,11 @@ let activate_due t =
     | (at, _) :: _ -> t.next_spawn <- at
     | [] -> t.next_spawn <- max_int
   in
-  go ()
+  go ();
+  refresh_timed t
 
 let pending_spawns t = List.length t.spawn_queue
+let pending_sleeps t = List.length t.sleep_queue
 
 let self () =
   match !(active ()) with
@@ -323,11 +342,12 @@ let[@inline] step_on t cost cell write =
   | Some f -> f (Ev_step { tid = th.tid; cost; at = t.clock }));
   if t.hooked then Effect.perform Yield
   else if t.clock >= t.deadline then Effect.perform Yield
-  else if t.clock >= t.next_spawn then
-    (* A queued join is due: return to the run loop without drawing the
-       RNG — the loop activates it and the next pick sees the joined
-       thread. [next_spawn] is [max_int] when no churn is configured, so
-       churn-free schedules are bit-identical. *)
+  else if t.clock >= t.next_timed then
+    (* A queued join or a sleeping thread is due: return to the run loop
+       without drawing the RNG — the loop activates/wakes it and the next
+       pick sees the updated runnable set. [next_timed] is [max_int] when
+       neither churn nor timed sleeps are configured, so timer-free
+       schedules are bit-identical. *)
     Effect.perform Yield
   else begin
     let i = Random.State.int t.rng t.runnable_count in
@@ -364,6 +384,47 @@ let unstall t tid =
     if not th.suspended then push_runnable t th;
     emit t (Ev_unstall { tid; at = t.clock })
   end
+
+(* Park the calling thread until the clock reaches [at], without charging
+   any cost: the thread stalls and the run loop wakes it (an internal
+   [unstall]) once the clock gets there — fast-forwarding idle time when
+   nothing else is runnable. This is what open-loop traffic drivers and
+   periodic service threads wait on. A no-op when [at] is already due, so
+   callers can sleep unconditionally. *)
+let sleep_until at =
+  match !(active ()) with
+  | Some t when t.current >= 0 ->
+      if at > t.clock then begin
+        let tid = t.current in
+        let rec insert = function
+          | [] -> [ (at, tid) ]
+          | (a, _) :: _ as rest when at < a -> (at, tid) :: rest
+          | entry :: rest -> entry :: insert rest
+        in
+        t.sleep_queue <- insert t.sleep_queue;
+        (match t.sleep_queue with
+        | (a, _) :: _ -> t.next_wake <- a
+        | [] -> assert false);
+        refresh_timed t;
+        Effect.perform Stall
+      end
+  | Some _ | None -> invalid_arg "Scheduler.sleep_until: no thread is running"
+
+(* Wake every sleeper whose time has come. A queue entry whose thread was
+   meanwhile killed, finished, or externally unstalled is simply dropped
+   ([unstall] only acts on stalled threads). *)
+let wake_due t =
+  let rec go () =
+    match t.sleep_queue with
+    | (at, tid) :: rest when at <= t.clock ->
+        t.sleep_queue <- rest;
+        unstall t tid;
+        go ()
+    | (at, _) :: _ -> t.next_wake <- at
+    | [] -> t.next_wake <- max_int
+  in
+  go ();
+  refresh_timed t
 
 let check_tid t tid ~what =
   if tid < 0 || tid >= t.count then
@@ -476,14 +537,18 @@ let run ?(budget = max_int) t =
     else begin
       (match t.on_decision with None -> () | Some f -> f ());
       if t.next_spawn <= t.clock then activate_due t;
+      if t.next_wake <= t.clock then wake_due t;
       if t.live = 0 && t.next_spawn = max_int then All_finished
       else if t.clock >= t.deadline then Budget_exhausted
       else if t.runnable_count = 0 then begin
-        if t.next_spawn < t.deadline then begin
-          (* Everything present is stalled (or finished) but a join is
-             scheduled: fast-forward the idle time to the next join. *)
-          t.clock <- t.next_spawn;
-          activate_due t;
+        if t.next_timed < t.deadline then begin
+          (* Everything present is stalled (or finished) but a join or a
+             wake-up is scheduled: fast-forward the idle time to the next
+             timer. [wake_due] always consumes the due queue entries, so
+             this makes progress even on stale entries. *)
+          t.clock <- t.next_timed;
+          if t.next_spawn <= t.clock then activate_due t;
+          if t.next_wake <= t.clock then wake_due t;
           loop ()
         end
         else if t.live = 0 then Budget_exhausted

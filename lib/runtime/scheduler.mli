@@ -78,6 +78,22 @@ val spawn_at : t -> at:int -> (unit -> unit) -> unit
 val pending_spawns : t -> int
 (** Number of {!spawn_at} joins not yet activated. *)
 
+val sleep_until : int -> unit
+(** Park the calling thread until the scheduler clock reaches the absolute
+    time given, at zero simulated cost (sleeping is waiting, not work). A
+    no-op when the time is already due. The park is a {!stall} with a
+    wake-up timer: the run loop revives the thread (as by {!unstall}, so
+    the trace shows [Ev_stall]/[Ev_unstall]) once the clock gets there,
+    fast-forwarding idle gaps when nothing else is runnable — the
+    open-loop traffic driver and periodic background-reclaimer threads
+    wait on this. With no sleepers queued the scheduler's RNG draws are
+    bit-identical to a scheduler without this feature, so existing
+    schedules and golden hashes are unchanged. Raises [Invalid_argument]
+    outside a running thread. *)
+
+val pending_sleeps : t -> int
+(** Number of {!sleep_until} timers not yet fired. *)
+
 val run : ?budget:int -> t -> outcome
 (** Execute until every thread finished, the cost [budget] (default
     unlimited) is exhausted, or only stalled threads remain. Re-entrant in

@@ -160,7 +160,13 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
   let retire t g n =
     Lifecycle.on_retire ~scheme:scheme_name n.state t.counters;
     let sid = g.sid in
-    t.limbo.(sid) <- (R.Atomic.get t.epoch, n) :: t.limbo.(sid);
+    (* Read the epoch (a charged load, hence a yield point) before touching
+       the limbo list: with a background reclaimer scanning this slot
+       mid-run, capturing the list on the left of the cons and writing it
+       back after the yield would resurrect nodes the reclaimer just
+       freed. *)
+    let e = R.Atomic.get t.epoch in
+    t.limbo.(sid) <- (e, n) :: t.limbo.(sid);
     t.since_scan.(sid) <- t.since_scan.(sid) + 1;
     if t.since_scan.(sid) >= t.cfg.batch_size then begin
       t.since_scan.(sid) <- 0;
@@ -177,6 +183,11 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
      O(max_threads^2) reads even when two threads ever ran). If no slot is
      live, nothing adopted the orphans above: with every reservation
      cleared the horizon is open, so partition them directly. *)
+  (* Mid-run reclaimer entry point: rescan live slots (each scan tries to
+     advance the epoch and frees eligible limbo); orphans wait for the
+     quiescent [flush]. *)
+  let relieve t = Slot_registry.iter_live t.reg (fun sid -> scan t sid)
+
   let flush t =
     Slot_registry.iter_live t.reg (fun sid -> scan t sid);
     Mutex.lock t.orphan_lock;

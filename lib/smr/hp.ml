@@ -182,6 +182,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   (* Live slots only. If none is live the orphans had no adopter: with no
      published hazard anywhere, partition them directly. *)
+  (* Mid-run reclaimer entry point: rescan live slots against the current
+     published hazards; orphans wait for the quiescent [flush]. *)
+  let relieve t = Slot_registry.iter_live t.reg (fun sid -> scan t sid)
+
   let flush t =
     Slot_registry.iter_live t.reg (fun sid -> scan t sid);
     Mutex.lock t.orphan_lock;

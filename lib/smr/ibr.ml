@@ -210,6 +210,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
 
   (* Live slots only; orphans with no live adopter are partitioned against
      the (then empty) published-interval set directly. *)
+  (* Mid-run reclaimer entry point: rescan live slots against the current
+     published intervals; orphans wait for the quiescent [flush]. *)
+  let relieve t = Slot_registry.iter_live t.reg (fun sid -> scan t sid)
+
   let flush t =
     Slot_registry.iter_live t.reg (fun sid -> scan t sid);
     Mutex.lock t.orphan_lock;

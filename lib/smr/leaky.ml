@@ -62,6 +62,7 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     enter t
 
   let flush (_ : _ t) = ()
+  let relieve (_ : _ t) = ()
   let stats t = Lifecycle.stats t.counters
 
   let metrics t =

@@ -170,6 +170,17 @@ module type SMR = sig
       quiescence (no thread between [enter] and [leave]); used by tests and
       harness teardown. *)
 
+  val relieve : 'a t -> unit
+  (** A bounded, allocation-free reclamation attempt, safe mid-run — what
+      a background reclaimer thread calls between requests. Baseline
+      schemes rescan every live slot (advancing epochs / freeing eligible
+      limbo where reservations permit); the Hyaline engines seal any
+      pending batch that already holds the mandatory node count, {e never}
+      padding with dummy allocations the way [flush] does (padding under
+      memory pressure would recurse into the very allocator the reclaimer
+      exists to relieve). Unlike [flush] it does not assume quiescence and
+      leaves orphan handoff to the normal scan path. *)
+
   val stats : 'a t -> stats
   (** Thin compatibility view of {!metrics}. *)
 

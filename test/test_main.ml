@@ -23,4 +23,5 @@ let () =
       ("metrics", Test_metrics.suite);
       ("mem", Test_mem.suite);
       ("executor", Test_executor.suite);
+      ("service", Test_service.suite);
     ]

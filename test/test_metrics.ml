@@ -335,6 +335,69 @@ let test_histogram_edges () =
   Alcotest.(check int) "of_list percentile" (1 lsl 23)
     (Histogram.percentile h' 100)
 
+(* The interpolated (p999-capable) percentile: empty, single-bucket and
+   overflow-bucket shapes, monotonicity in p, and the max clamp that keeps
+   the catch-all bucket from reporting values no sample reached. *)
+let test_percentile_interp () =
+  (* Empty histogram: 0.0 for every p. *)
+  let h = Histogram.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty p%.1f" p)
+        0.0
+        (Histogram.percentile_interp h p))
+    [ 0.0; 50.0; 99.9; 100.0 ];
+  (* Single bucket: all mass in [4, 8) (samples of value 5), but the
+     recorded max (5) tightens the interpolation's upper bound, so every
+     quantile lands in [4, 5]. *)
+  let h = Histogram.create () in
+  for _ = 1 to 100 do
+    Histogram.add h 5
+  done;
+  let p50 = Histogram.percentile_interp h 50.0 in
+  let p999 = Histogram.percentile_interp h 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-bucket p50 in [4,5] (%.2f)" p50)
+    true
+    (p50 >= 4.0 && p50 <= 5.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "single-bucket p999 in [4,5] (%.2f)" p999)
+    true
+    (p999 >= 4.0 && p999 <= 5.0);
+  Alcotest.(check bool) "monotone in p" true (p999 >= p50);
+  (* p999 resolves tail mass that the integer p99 cannot: 995 fast
+     samples and 5 slow ones — p99 (rank 990) stays in the fast bucket,
+     p999 (rank 999) reaches the slow one. *)
+  let h = Histogram.create () in
+  for _ = 1 to 995 do
+    Histogram.add h 3
+  done;
+  for _ = 1 to 5 do
+    Histogram.add h 5000
+  done;
+  Alcotest.(check bool) "p99 stays in the fast bucket" true
+    (Histogram.percentile_interp h 99.0 < 5.0);
+  Alcotest.(check bool) "p999 reaches the slow sample's bucket" true
+    (Histogram.percentile_interp h 99.9 > 4096.0);
+  (* Overflow bucket: samples beyond the last bound interpolate toward
+     the true max, never past it. *)
+  let h = Histogram.create () in
+  Histogram.add h ((1 lsl 23) + 17);
+  Histogram.add h ((1 lsl 24) + 5);
+  let v = Histogram.percentile_interp h 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "overflow bucket clamps to max (%.0f)" v)
+    true
+    (v >= float_of_int (1 lsl 22) && v <= float_of_int ((1 lsl 24) + 5));
+  (* Out-of-range p clamps instead of raising. *)
+  let h = Histogram.create () in
+  Histogram.add h 10;
+  Alcotest.(check bool) "p > 100 clamps" true
+    (Histogram.percentile_interp h 150.0 <= 10.0);
+  Alcotest.(check bool) "p < 0 clamps" true
+    (Histogram.percentile_interp h (-5.0) >= 0.0)
+
 (* A ~10k-point report must serialize in linear time and round-trip
    losslessly: the timeline sections of real BENCH reports reach this
    size, and an accidental string-concat (quadratic) serializer would
@@ -389,4 +452,5 @@ let suite =
     Alcotest.test_case "json large report" `Quick test_json_large_report;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
+    Alcotest.test_case "interpolated percentile" `Quick test_percentile_interp;
   ]

@@ -99,6 +99,31 @@ dune exec bin/figures.exe -- churn --cache-dir "$tmpdir/cache" \
 grep -q "churn verdict: transparent ok" "$tmpdir/churn.log" || {
   echo "churn smoke: transparency verdict lost"; cat "$tmpdir/churn.log"; exit 1; }
 
+# Service smoke: the open-loop session-cache sweep must reproduce the
+# SLO contrast — Hyaline-S keeps serving with bounded tail latency and a
+# plateaued resident footprint while Epoch diverges (or OOMs) under the
+# same byte budget. The driver prints a one-line machine-checked verdict,
+# writes BENCH_service.json and round-trip validates it; a second run over
+# the same cache must execute zero cells (simulated-OOM rows are cached
+# like results) and reproduce the artifact byte for byte.
+echo "==> service smoke run"
+mkdir "$tmpdir/svc1" "$tmpdir/svc2"
+dune exec bin/figures.exe -- service --cache-dir "$tmpdir/svccache" \
+  -o "$tmpdir/svc1" >"$tmpdir/service1.log" || {
+  echo "service smoke: driver failed"; cat "$tmpdir/service1.log"; exit 1; }
+grep -q "service verdict: robust ok" "$tmpdir/service1.log" || {
+  echo "service smoke: SLO verdict lost"; cat "$tmpdir/service1.log"; exit 1; }
+test -s "$tmpdir/svc1/BENCH_service.json"
+dune exec bin/figures.exe -- service --cache-dir "$tmpdir/svccache" \
+  -o "$tmpdir/svc2" >"$tmpdir/service2.log" || {
+  echo "service smoke: warm-cache run failed"; cat "$tmpdir/service2.log"; exit 1; }
+grep -q "executed=0 " "$tmpdir/service2.log" || {
+  echo "service smoke: warm run re-executed cells"; cat "$tmpdir/service2.log"; exit 1; }
+grep -q "(100% cached)" "$tmpdir/service2.log" || {
+  echo "service smoke: warm run was not fully cached"; cat "$tmpdir/service2.log"; exit 1; }
+cmp "$tmpdir/svc1/BENCH_service.json" "$tmpdir/svc2/BENCH_service.json" || {
+  echo "service smoke: warm-cache report differs"; exit 1; }
+
 # Budgeted adversarial verification: the full scheme x structure matrix
 # under sleep-set DFS, random walks and PCT, plus the stall-injection
 # robustness probes — fixed seeds, smoke budgets (the whole sweep is a

@@ -425,7 +425,32 @@ let verify_cmd =
           probes;
         Fmt.pr "robustness: %d scheme(s), bound %d, %d mismatch(es)@."
           (List.length probes) bound !mismatches;
-        if !failed > 0 || !mismatches > 0 then exit 1
+        (* Wait-freedom probes (Crystalline): bounded memory under a
+           stalled AND a killed reader, bounded per-op reader steps
+           under the starvation schedule — Crystalline-W must hold both
+           where the era-loop schemes and Epoch each lose one. *)
+        let wf = V.waitfree_probe ~seed:(seed + 3) ~writers () in
+        List.iter
+          (fun (s : V.steps) ->
+            Fmt.pr "waitfree steps %-14s bounded=%-5b %s@." s.V.s_scheme
+              s.V.s_bounded
+              (String.concat " "
+                 (List.map
+                    (fun (a, c) -> Printf.sprintf "%d:%d" a c)
+                    s.V.s_costs)))
+          wf.V.wf_steps;
+        let peak rows name =
+          (List.find (fun r -> r.V.r_scheme = name) rows).V.r_peak
+        in
+        List.iter
+          (fun name ->
+            Fmt.pr "waitfree memory %-14s stalled=%-6d killed=%-6d@." name
+              (peak wf.V.wf_stall name) (peak wf.V.wf_kill name))
+          V.wf_mem_schemes;
+        Fmt.pr "waitfree: %s (bound %d)@."
+          (if wf.V.wf_ok then "wait-free ok" else "MISMATCH")
+          wf.V.wf_bound;
+        if !failed > 0 || !mismatches > 0 || not wf.V.wf_ok then exit 1
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
@@ -521,6 +546,44 @@ let service_cmd =
       const run $ dir_t $ profile_term $ domains_term $ cache_term
       $ progress_term $ scale_term)
 
+let waitfree_cmd =
+  let doc =
+    "The Crystalline wait-freedom sweep: resident-bytes trajectories \
+     under 2 permanently stalled readers across the Hyaline lineage, \
+     plus the uncached probes — per-op reader step counts under a \
+     starvation schedule and peak unreclaimed under stall/kill \
+     injection. Prints a machine-checked verdict; optionally writes \
+     BENCH_waitfree.json."
+  in
+  let dir_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output-dir" ]
+          ~doc:"Write BENCH_waitfree.json here (byte-reproducible).")
+  in
+  let run out profile domains cache on_progress scale =
+    let artifact, stats, ok =
+      Smr_harness.Figures.waitfree ?domains ?cache ?on_progress Fmt.stdout
+        ~scale
+    in
+    Fmt.pr "%a@." Executor.pp_stats stats;
+    profile_report profile;
+    (match out with
+    | None -> ()
+    | Some d ->
+        let path = Filename.concat d "BENCH_waitfree.json" in
+        let oc = open_out path in
+        output_string oc (Smr_harness.Json.to_string artifact);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "wrote %s@." path);
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "waitfree" ~doc)
+    Term.(
+      const run $ dir_t $ profile_term $ domains_term $ cache_term
+      $ progress_term $ scale_term)
+
 (* Must come first: if this process is a re-exec'd native-cell worker
    (see Native_workload.guard_main), it runs the cell and exits instead
    of parsing the command line. *)
@@ -548,6 +611,7 @@ let () =
       point_cmd;
       bench_cmd;
       service_cmd;
+      waitfree_cmd;
       parity_cmd;
       verify_cmd;
     ]

@@ -1,0 +1,62 @@
+(** Interfaces for the Crystalline engines (Nikolaev & Ravindran,
+    arXiv:2108.02763) — the wait-free successors of Hyaline.
+
+    Both variants reuse the Hyaline batch/slot machinery (one slot per
+    thread, single-word heads, birth/access eras exactly as in
+    Hyaline-1S). The family differs only in how [protect] resolves the
+    race between a reader validating its reservation and writers
+    advancing the global era:
+
+    - {b Crystalline-L} keeps Hyaline-1S's lock-free validation loop: a
+      reader retries its read until the era stops moving underneath it.
+      Starvation is possible — an adversarial allocator can keep a
+      reader retrying forever — but memory stays bounded.
+    - {b Crystalline-W} caps the retry loop at [fast_tries] attempts and
+      then falls back to a wait-free handshake: the reader publishes a
+      helper thunk in a per-slot state cell; every thread about to
+      advance the era first runs the pending thunks, completing the
+      stuck reader's reservation-and-read on its behalf and depositing
+      the result for the reader (or for nobody, if the reader was
+      killed — the deposit also freezes the slot's reservation so the
+      dead thread's memory bound holds). The reader's steps per
+      operation are then bounded by the number of in-flight era
+      advances rather than by the adversary's total allocation count.
+*)
+
+(** Compile-time flavour selection shared by the Crystalline engines. *)
+module type FLAVOR = sig
+  val scheme_name : string
+
+  val wait_free : bool
+  (** [false] selects Crystalline-L (unbounded validation loop, no state
+      cells); [true] selects Crystalline-W (capped loop + handshake). *)
+
+  val fast_tries : int
+  (** Wait-free flavour only: validation-loop attempts before the slow
+      path. The paper uses a small constant; 0 forces the slow path on
+      the first failed validation (used by tests to pin the handshake). *)
+
+  val validate_help : bool
+  (** Wait-free flavour only: whether a helper follows the sound
+      attempt discipline — raise the seeker's reservation {e before}
+      reading, then re-validate that the era did not move across the
+      read before depositing. Disabling this makes the helper complete
+      the request with the seeker's {e original} failed read instead:
+      that value was read while the seeker's access era lagged the
+      allocation era, so the batch holding it can seal past the
+      seeker's reservation, skip its slot, and reclaim the node the
+      deposit hands back. This is {e deliberately unsound}; the broken
+      flavour exists solely so the test suite can demonstrate that the
+      explorer catches the resulting use-after-free. *)
+end
+
+module type S = sig
+  include Smr.Smr_intf.SMR
+
+  val trim : 'a t -> 'a guard -> 'a guard
+  (** As in Hyaline (§3.3): [leave] + [enter] fused without touching the
+      head word twice. *)
+
+  val current_slots : 'a t -> int
+  (** Slot count [k]; constant (1:1 thread-to-slot, like Hyaline-1S). *)
+end

@@ -1,0 +1,12 @@
+(** Crystalline-L: lock-free era tracking — Hyaline-1S's reader protocol
+    over the shared Crystalline engine. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) =
+  Engine.Make
+    (R)
+    (struct
+      let scheme_name = "Crystalline-L"
+      let wait_free = false
+      let fast_tries = 0
+      let validate_help = true
+    end)

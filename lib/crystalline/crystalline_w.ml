@@ -1,0 +1,13 @@
+(** Crystalline-W: the wait-free flavour — a short validation loop, then
+    the helper handshake (era advancers complete published requests
+    before incrementing, see {!Engine}). *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) =
+  Engine.Make
+    (R)
+    (struct
+      let scheme_name = "Crystalline-W"
+      let wait_free = true
+      let fast_tries = 3
+      let validate_help = true
+    end)

@@ -1,0 +1,380 @@
+(** The Crystalline engine: Hyaline-1S batch reclamation (one slot per
+    thread, single-word heads, birth/access eras) with a selectable
+    protect path — Crystalline-L's lock-free validation loop or
+    Crystalline-W's wait-free handshake (see {!Crystalline_intf}).
+
+    The retire/seal/traverse side is byte-for-byte the Hyaline-1S
+    protocol: a sealed batch skips a slot iff the slot is inactive or its
+    access era predates the batch's minimum birth era. Wait-freedom is
+    achieved entirely on the reader side, so the memory-bound argument of
+    the robust Hyaline variants carries over unchanged — a slot whose
+    access era stops moving (stalled, killed, or parked in the slow path)
+    is skipped by every batch born after it, bounding what the slot can
+    pin.
+
+    The handshake (Crystalline-W only): after [fast_tries] failed
+    validations the reader publishes a helper thunk in its slot's state
+    cell and keeps re-attempting. Every thread about to advance the era
+    first runs the published thunks ([help_pending], called from [alloc]
+    just before the increment). A helper raises the seeker's access era
+    to the current era {e before} reading, re-validates that the era did
+    not move across the read, and deposits the value once (a CAS into the
+    seeker's result cell). The reader adopts the first deposit it finds.
+    Each of the reader's own attempts fails only if the era moved during
+    it, and the first era advance that follows the publication completes
+    the request as part of advancing — so the reader's steps are bounded
+    by the number of in-flight era advances (at most one per thread),
+    not by the adversary's total allocation count. A killed reader's
+    request is completed exactly once; after the deposit its access era
+    is frozen, so helpers touch it no further and the usual skip rule
+    bounds its memory. *)
+
+module Make (R : Smr_runtime.Runtime_intf.S) (F : Crystalline_intf.FLAVOR) =
+struct
+  let scheme_name = F.scheme_name
+
+  (* Both flavours carry birth/access eras, so both are robust. *)
+  let robust = true
+
+  module R = R
+  module B = Hyaline_core.Batch.Make (R)
+
+  type 'a node = 'a B.node
+
+  (* The single-word head: an "active" bit squeezed next to the pointer. *)
+  type 'a word = { active : bool; hptr : 'a B.node option }
+
+  (* The per-slot request cell of the wait-free handshake. The thunk is
+     monomorphic (it closes over the seeker's typed result cell), so the
+     cell stays ['b]-free. *)
+  type seek_state = Idle | Seeking of (unit -> unit)
+
+  type 'a slot = {
+    head : 'a word R.Atomic.t;
+    access : int R.Atomic.t;
+    state : seek_state R.Atomic.t;
+  }
+
+  type 'a pending = { mutable nodes : 'a B.node list; mutable len : int }
+
+  type 'a t = {
+    cfg : Smr.Smr_intf.config;
+    counters : Smr.Lifecycle.counters;
+    (* Registration is pure registry bookkeeping, as in Hyaline (§2.4):
+       no reservation cells to publish or clear on join/leave. *)
+    reg : Smr.Slot_registry.t;
+    slots : 'a slot array;  (* one per registered thread; k = max_threads *)
+    era : int R.Atomic.t;
+    alloc_clock : int Stdlib.Atomic.t;
+    pending : 'a pending array;
+    (* Metrics (plain atomics, invisible to the cost model). *)
+    m_sealed : Smr.Metrics.Counter.t;
+    m_sealed_nodes : Smr.Metrics.Counter.t;
+    m_trims : Smr.Metrics.Counter.t;
+    m_insert_retries : Smr.Metrics.Counter.t;
+    m_fast_retries : Smr.Metrics.Counter.t;
+    m_slow_paths : Smr.Metrics.Counter.t;
+    m_help_deposits : Smr.Metrics.Counter.t;
+    m_adoptions : Smr.Metrics.Counter.t;
+  }
+
+  type 'a guard = { sid : int; handle : 'a B.node option }
+
+  let idle = { active = false; hptr = None }
+
+  let create (cfg : Smr.Smr_intf.config) =
+    {
+      cfg;
+      counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
+      reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
+      slots =
+        Array.init cfg.max_threads (fun _ ->
+            {
+              head = R.Atomic.make idle;
+              access = R.Atomic.make 0;
+              state = R.Atomic.make Idle;
+            });
+      era = R.Atomic.make 0;
+      alloc_clock = Stdlib.Atomic.make 0;
+      pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
+      m_sealed = Smr.Metrics.Counter.make "batches_sealed";
+      m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
+      m_trims = Smr.Metrics.Counter.make "trims";
+      m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
+      m_fast_retries = Smr.Metrics.Counter.make "protect_fast_retries";
+      m_slow_paths = Smr.Metrics.Counter.make "protect_slow_paths";
+      m_help_deposits = Smr.Metrics.Counter.make "help_deposits";
+      m_adoptions = Smr.Metrics.Counter.make "help_adoptions";
+    }
+
+  let current_slots t = Array.length t.slots
+
+  let data (n : 'a node) =
+    Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
+    n.payload
+
+  let register ?tid t =
+    let tid = match tid with Some tid -> tid | None -> R.self () in
+    Smr.Slot_registry.register t.reg ~tid
+
+  let deregister t s = Smr.Slot_registry.release t.reg s
+
+  (* In the wait-free flavour [access] has two writers (the owner and any
+     helper), so every write is a monotonic CAS-max: a reservation, once
+     raised, can never be lowered under a value some reader relied on. *)
+  let rec touch cell v =
+    let cur = R.Atomic.get cell in
+    if cur < v && not (R.Atomic.compare_and_set cell cur v) then touch cell v
+
+  let enter t =
+    let sid = Smr.Slot_registry.ensure t.reg ~tid:(R.self ()) in
+    let slot = t.slots.(sid) in
+    (* Clear any request a killed previous occupant left armed, so stale
+       thunks cannot outlive the slot's recycling. *)
+    if F.wait_free && R.Atomic.get slot.state <> Idle then
+      R.Atomic.set slot.state Idle;
+    R.Atomic.set slot.head { active = true; hptr = None };
+    { sid; handle = None }
+
+  (* Decrement every batch in the detached list once; free on zero,
+     FIFO-deferred — exactly Hyaline-1's traverse. *)
+  let traverse t first handle =
+    let to_free = ref [] in
+    let rec go curr =
+      match curr with
+      | None -> ()
+      | Some n ->
+          Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
+            n.B.state;
+          let next = R.Atomic.get n.B.next in
+          let b = B.batch_of n in
+          if R.Atomic.fetch_and_add b.nref (-1) = 1 then
+            to_free := b :: !to_free;
+          if not (B.same_node curr handle) then go next
+    in
+    go first;
+    List.iter (B.free_batch ~counters:t.counters) (List.rev !to_free)
+
+  let leave t g =
+    let old = R.Atomic.exchange t.slots.(g.sid).head idle in
+    if Option.is_some old.hptr then traverse t old.hptr g.handle
+
+  let trim t g =
+    Smr.Metrics.Counter.incr t.m_trims;
+    let slot = t.slots.(g.sid) in
+    let old = R.Atomic.exchange slot.head { active = true; hptr = None } in
+    assert old.active;
+    if Option.is_some old.hptr then traverse t old.hptr g.handle;
+    g
+
+  (* The wait-free slow path. The same attempt shape is used by the owner
+     and by helpers: raise the reservation to the current era, read, then
+     accept the value only if the era did not move across the read — the
+     exact invariant a successful iteration of the L loop establishes, so
+     deposited values are protected by the same argument. [stale] is the
+     value the owner's last fast-path attempt read before its validation
+     failed; only the unsound test flavour touches it. *)
+  let slow t slot ~read ~stale =
+    Smr.Metrics.Counter.incr t.m_slow_paths;
+    let result = R.Atomic.make None in
+    let run_help () =
+      (* At most one deposit per request: once completed, later era
+         advances leave the slot's access era alone, preserving the
+         killed-reader memory bound. *)
+      if Option.is_none (R.Atomic.get result) then
+        if F.validate_help then begin
+          let e_h = R.Atomic.get t.era in
+          touch slot.access e_h;
+          let v = read () in
+          if R.Atomic.get t.era = e_h then
+            if R.Atomic.compare_and_set result None (Some v) then
+              Smr.Metrics.Counter.incr t.m_help_deposits
+        end
+        else begin
+          (* Deliberately unsound (test-only flavour): complete the
+             request with the seeker's own failed read instead of
+             redoing it under a raised reservation — the batch holding
+             [stale] can seal past the seeker's access era and reclaim
+             it before (or after) the deposit lands. *)
+          if R.Atomic.compare_and_set result None (Some stale) then
+            Smr.Metrics.Counter.incr t.m_help_deposits
+        end
+    in
+    R.Atomic.set slot.state (Seeking run_help);
+    let rec arm () =
+      let e = R.Atomic.get t.era in
+      touch slot.access e;
+      let v = read () in
+      if R.Atomic.get t.era = e then begin
+        R.Atomic.set slot.state Idle;
+        v
+      end
+      else
+        match R.Atomic.get result with
+        | Some v ->
+            R.Atomic.set slot.state Idle;
+            Smr.Metrics.Counter.incr t.m_adoptions;
+            v
+        | None -> arm ()
+    in
+    arm ()
+
+  let protect t g ~idx:_ ~read ~target:_ =
+    let slot = t.slots.(g.sid) in
+    if not F.wait_free then
+      (* Crystalline-L: Hyaline-1S's validation loop, unbounded. *)
+      let rec attempt access =
+        let v = read () in
+        let alloc = R.Atomic.get t.era in
+        if access >= alloc then v
+        else begin
+          R.Atomic.set slot.access alloc;
+          attempt alloc
+        end
+      in
+      attempt (R.Atomic.get slot.access)
+    else begin
+      let rec fast tries access =
+        let v = read () in
+        let alloc = R.Atomic.get t.era in
+        if access >= alloc then Ok v
+        else if tries <= 0 then Error v
+        else begin
+          touch slot.access alloc;
+          Smr.Metrics.Counter.incr t.m_fast_retries;
+          fast (tries - 1) alloc
+        end
+      in
+      match fast F.fast_tries (R.Atomic.get slot.access) with
+      | Ok v -> v
+      | Error stale -> slow t slot ~read ~stale
+    end
+
+  (* Hyaline-1 retire: count the slots the batch lands in, then adjust
+     NRef by that count. The skip rule is untouched by the handshake. *)
+  let retire_batch t (b : 'a B.batch) =
+    let cursor = ref 1 in
+    let inserts = ref 0 in
+    Smr.Slot_registry.iter_live t.reg (fun i ->
+        let slot = t.slots.(i) in
+        let rec attempt () =
+          let seen = R.Atomic.get slot.head in
+          let skip =
+            (not seen.active) || R.Atomic.get slot.access < b.min_birth
+          in
+          if not skip then begin
+            let node = b.nodes.(!cursor) in
+            R.Atomic.set node.B.next seen.hptr;
+            if
+              R.Atomic.compare_and_set slot.head seen
+                { active = true; hptr = Some node }
+            then begin
+              incr cursor;
+              incr inserts
+            end
+            else begin
+              Smr.Metrics.Counter.incr t.m_insert_retries;
+              attempt ()
+            end
+          end
+        in
+        attempt ());
+    if R.Atomic.fetch_and_add b.nref !inserts = - !inserts then
+      B.free_batch ~counters:t.counters b
+
+  let effective_batch t = max t.cfg.batch_size (Array.length t.slots + 1)
+
+  let seal_pending t (p : 'a pending) =
+    let nodes = p.nodes in
+    Smr.Metrics.Counter.incr t.m_sealed;
+    Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
+    p.nodes <- [];
+    p.len <- 0;
+    retire_batch t
+      (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
+
+  let relieve_pressure t () =
+    let p = t.pending.(Smr.Slot_registry.ensure t.reg ~tid:(R.self ())) in
+    if p.len > Array.length t.slots then seal_pending t p
+
+  (* Run every published request before advancing the era: completing the
+     seekers is part of the advance, which is what makes the advance
+     harmless to them. *)
+  let help_pending t =
+    Smr.Slot_registry.iter_live t.reg (fun i ->
+        match R.Atomic.get t.slots.(i).state with
+        | Idle -> ()
+        | Seeking run_help -> run_help ())
+
+  let alloc ?bytes t payload =
+    let mem_bytes =
+      B.node_overhead_bytes
+      + Option.value bytes ~default:t.cfg.Smr.Smr_intf.node_bytes
+    in
+    R.alloc_point ~bytes:mem_bytes;
+    let birth =
+      let c = Stdlib.Atomic.fetch_and_add t.alloc_clock 1 in
+      if c mod t.cfg.era_freq = t.cfg.era_freq - 1 then begin
+        if F.wait_free then help_pending t;
+        R.Atomic.incr t.era
+      end;
+      R.Atomic.get t.era
+    in
+    B.make_node ~bytes:mem_bytes ~relieve:(relieve_pressure t)
+      ~scheme:F.scheme_name ~counters:t.counters ~birth payload
+
+  let retire t g n =
+    Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
+      t.counters;
+    let p = t.pending.(g.sid) in
+    p.nodes <- n :: p.nodes;
+    p.len <- p.len + 1;
+    if p.len >= effective_batch t then seal_pending t p
+
+  let relieve t =
+    let needed = Array.length t.slots in
+    for sid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(sid) in
+      if p.len > needed then seal_pending t p
+    done
+
+  let flush t =
+    let needed = effective_batch t in
+    for sid = 0 to t.cfg.max_threads - 1 do
+      let p = t.pending.(sid) in
+      if p.len > 0 then begin
+        let sample =
+          match p.nodes with n :: _ -> n.B.payload | [] -> assert false
+        in
+        while p.len < needed do
+          let d = alloc t sample in
+          Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name
+            d.B.state t.counters;
+          p.nodes <- d :: p.nodes;
+          p.len <- p.len + 1
+        done;
+        seal_pending t p
+      end
+    done
+
+  let refresh = trim
+
+  let stats t = Smr.Lifecycle.stats t.counters
+
+  let metrics t =
+    Smr.Lifecycle.snapshot ~scheme:F.scheme_name
+      ~series:
+        (Smr.Metrics.series_of
+           [
+             t.m_sealed;
+             t.m_sealed_nodes;
+             t.m_trims;
+             t.m_insert_retries;
+             t.m_fast_retries;
+             t.m_slow_paths;
+             t.m_help_deposits;
+             t.m_adoptions;
+           ]
+        @ Smr.Slot_registry.series t.reg)
+      t.counters
+end

@@ -297,6 +297,170 @@ let footprint ?domains ?cache ?on_progress ppf ~scale =
   | _ -> Fmt.pf ppf "@.footprint verdict: incomplete (missing series)@.");
   Fmt.pf ppf "@."
 
+(* -- Wait-freedom: the Crystalline memory + steps verdict ---------------- *)
+
+(* Two halves, one machine-checked verdict. Memory: the {!Plan.waitfree}
+   executor sweep (cached) — the footprint adversary over the Hyaline
+   lineage; Crystalline-L/-W must plateau alongside Hyaline-1S while
+   stalled Epoch diverges. Steps: the uncached {!Verify.waitfree_probe} —
+   per-op reader cost under a starvation schedule plus the stall/kill
+   peak-unreclaimed probes; Crystalline-W alone must be bounded on both
+   axes. The verdict line is greppable by tools/check.sh and CI; the
+   returned JSON is the BENCH_waitfree artifact (fully deterministic, so
+   a warm-cache rerun reproduces it byte for byte). *)
+let waitfree ?domains ?cache ?on_progress ppf ~scale =
+  let plan = Plan.waitfree ~scale () in
+  let summary = Executor.run ?domains ?cache ?on_progress plan in
+  let ok_rows =
+    List.filter_map
+      (fun (r : Executor.row) ->
+        match r.Executor.outcome with
+        | Executor.Done res -> Some (r.Executor.cell.Plan.label, res)
+        | Executor.Failed msg ->
+            Fmt.epr "waitfree: cell %s failed: %s@."
+              r.Executor.cell.Plan.label msg;
+            None)
+      summary.Executor.rows
+  in
+  let budget =
+    match summary.Executor.rows with
+    | r :: _ -> (Plan.spec_of_cell r.Executor.cell).Workload.budget
+    | [] -> 0
+  in
+  let ticks = 8 in
+  let grid = List.init ticks (fun i -> budget * (i + 1) / ticks) in
+  Fmt.pf ppf
+    "# Wait-freedom — resident allocator bytes vs simulated time (hash \
+     map, 2 stalled readers)@.@.";
+  Fmt.pf ppf "%-10s" "time";
+  List.iter (fun (l, _) -> Fmt.pf ppf " %14s" l) ok_rows;
+  Fmt.pf ppf "@.";
+  let sample_at t (res : Workload.result) =
+    List.fold_left
+      (fun acc (s : Workload.sample) ->
+        if s.Workload.s_at <= t then Some s else acc)
+      None res.Workload.timeline
+  in
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "%-10d" t;
+      List.iter
+        (fun (_, res) ->
+          match sample_at t res with
+          | Some s -> Fmt.pf ppf " %14d" s.Workload.s_resident
+          | None -> Fmt.pf ppf " %14s" "-")
+        ok_rows;
+      Fmt.pf ppf "@.")
+    grid;
+  let resident l =
+    Option.map
+      (fun (r : Workload.result) ->
+        r.Workload.metrics.Smr.Metrics.mem.Mem.Mem_intf.bytes_resident)
+      (List.assoc_opt l ok_rows)
+  in
+  (* The uncached half: per-op reader steps under the starvation
+     schedule, and peak unreclaimed under a stalled AND a killed
+     reader. Deterministic (fixed seeds, custom picker), so the verdict
+     and artifact are reproducible without the cache. *)
+  let wf = Verify.waitfree_probe () in
+  Fmt.pf ppf "@.## reader cost units per protect (adversary allocs on top)@.";
+  Fmt.pf ppf "%-14s %8s" "scheme" "bounded";
+  List.iter
+    (fun (a, _) -> Fmt.pf ppf " %10d" a)
+    (match wf.Verify.wf_steps with s :: _ -> s.Verify.s_costs | [] -> []);
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun (s : Verify.steps) ->
+      Fmt.pf ppf "%-14s %8b" s.Verify.s_scheme s.Verify.s_bounded;
+      List.iter (fun (_, c) -> Fmt.pf ppf " %10d" c) s.Verify.s_costs;
+      Fmt.pf ppf "@.")
+    wf.Verify.wf_steps;
+  Fmt.pf ppf "@.## peak unreclaimed under a faulted reader (bound %d)@."
+    wf.Verify.wf_bound;
+  Fmt.pf ppf "%-14s %10s %10s@." "scheme" "stalled" "killed";
+  let peak rows name =
+    (List.find (fun r -> r.Verify.r_scheme = name) rows).Verify.r_peak
+  in
+  List.iter
+    (fun name ->
+      Fmt.pf ppf "%-14s %10d %10d@." name
+        (peak wf.Verify.wf_stall name)
+        (peak wf.Verify.wf_kill name))
+    Verify.wf_mem_schemes;
+  (* Sweep-side plateau check: stalled Epoch's resident bytes dwarf
+     Crystalline-W's under the identical adversary. *)
+  let plateau =
+    match (resident "Epoch", resident "Crystalline-W") with
+    | Some e, Some w when w > 0 -> Some (e, w, e >= 2 * w)
+    | _ -> None
+  in
+  let sweep_ok = match plateau with Some (_, _, ok) -> ok | None -> false in
+  let verdict_ok = sweep_ok && wf.Verify.wf_ok in
+  (match plateau with
+  | Some (e, w, _) ->
+      Fmt.pf ppf
+        "@.waitfree verdict: %s (Crystalline-W resident %dB vs stalled \
+         Epoch %dB; steps flat=%b; stall/kill peaks within %d=%b)@."
+        (if verdict_ok then "wait-free ok" else "FAIL")
+        w e
+        (List.exists
+           (fun s ->
+             s.Verify.s_scheme = "Crystalline-W" && s.Verify.s_bounded)
+           wf.Verify.wf_steps)
+        wf.Verify.wf_bound wf.Verify.wf_ok
+  | None -> Fmt.pf ppf "@.waitfree verdict: incomplete (missing series)@.");
+  Fmt.pf ppf "@.";
+  let artifact =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("kind", Json.String "waitfree");
+        ("bound", Json.Int wf.Verify.wf_bound);
+        ("verdict_ok", Json.Bool verdict_ok);
+        ( "resident",
+          Json.Obj
+            (List.map
+               (fun (l, (res : Workload.result)) ->
+                 ( l,
+                   Json.Int
+                     res.Workload.metrics.Smr.Metrics.mem
+                       .Mem.Mem_intf.bytes_resident ))
+               ok_rows) );
+        ( "steps",
+          Json.List
+            (List.map
+               (fun (s : Verify.steps) ->
+                 Json.Obj
+                   [
+                     ("scheme", Json.String s.Verify.s_scheme);
+                     ("bounded", Json.Bool s.Verify.s_bounded);
+                     ( "cost_per_op",
+                       Json.List
+                         (List.map
+                            (fun (a, c) ->
+                              Json.Obj
+                                [
+                                  ("allocs", Json.Int a);
+                                  ("cost", Json.Int c);
+                                ])
+                            s.Verify.s_costs) );
+                   ])
+               wf.Verify.wf_steps) );
+        ( "faulted_peaks",
+          Json.List
+            (List.map
+               (fun name ->
+                 Json.Obj
+                   [
+                     ("scheme", Json.String name);
+                     ("stalled", Json.Int (peak wf.Verify.wf_stall name));
+                     ("killed", Json.Int (peak wf.Verify.wf_kill name));
+                   ])
+               Verify.wf_mem_schemes) );
+      ]
+  in
+  (artifact, summary.Executor.stats, verdict_ok)
+
 (* -- Churn: thread join/leave cost and orphan accounting ----------------- *)
 
 (* Micro: charged cost of one register/deregister cycle, measured on a
@@ -512,7 +676,7 @@ let micro_costs (module S : Registry.SMR) =
 (* Qualitative columns as classified by the paper's Table 1. *)
 let transparency = function
   | "Hyaline" | "Hyaline-S" | "Hyaline/llsc" | "Hyaline-S/llsc" -> "Yes"
-  | "Hyaline-1" | "Hyaline-1S" -> "Almost"
+  | "Hyaline-1" | "Hyaline-1S" | "Crystalline-L" | "Crystalline-W" -> "Almost"
   | "Epoch" | "HP" | "HE" | "IBR" -> "No (retire)"
   | "Leaky" -> "n/a"
   | _ -> "?"
@@ -527,5 +691,7 @@ let table1 ppf =
       Fmt.pf ppf "%-12s %8s %12s %12.2f %10.2f %10.2f@." name
         (if S.robust then "yes" else "no")
         (transparency name) el de re)
-    (Registry.Sim.all_schemes Registry.X86);
+    (List.filter
+       (fun (n, _) -> List.mem n (Registry.bench_scheme_names Registry.X86))
+       Registry.Sim.every_scheme);
   Fmt.pf ppf "@."

@@ -203,6 +203,44 @@ let footprint ?(scale = Quick) () =
       ];
   }
 
+(* The Crystalline wait-freedom sweep: the same Fig. 10a-style adversary
+   as {!footprint} — a write-heavy hashmap with two permanently stalled
+   readers — run over the Hyaline lineage. Epoch's frozen horizon leaks
+   for the whole run while Hyaline-1S and both Crystalline flavours
+   plateau; the no-stall Epoch series anchors the healthy baseline. The
+   per-op step-count half of the wait-freedom verdict does not fit the
+   executor's cell model (it needs a custom picker) and lives in
+   {!Verify.steps_probe}, which the waitfree figure runs uncached. *)
+let waitfree ?(scale = Quick) () =
+  let budget = match scale with Quick -> 400_000 | Full -> 1_600_000 in
+  let sample_every = budget / 40 in
+  let cfg =
+    {
+      (base_cfg ~max_threads:1) with
+      Smr.Smr_intf.slots = 8;
+      batch_size = 8;
+      era_freq = 16;
+      ack_threshold = 16;
+    }
+  in
+  let mk ?label ?(stalled = 2) scheme =
+    cell ?label ~scale ~stalled ~budget ~sample_every ~cfg ~seed:7
+      ~prefill:128 ~key_range:256 ~scheme ~structure:Registry.Hashmap
+      ~threads:8 ()
+  in
+  {
+    name = "waitfree";
+    cells =
+      [
+        mk "Epoch";
+        mk ~label:"Epoch-nostall" ~stalled:0 "Epoch";
+        mk "Hyaline";
+        mk "Hyaline-1S";
+        mk "Crystalline-L";
+        mk "Crystalline-W";
+      ];
+  }
+
 (* The thread-churn sweep (ROADMAP items 1/5): a hashmap under a steady
    stream of short-lived session threads that register, run a small burst
    of operations, deregister and leave. Each cell runs >= 2000 join/leave

@@ -106,6 +106,14 @@ val footprint : ?scale:scale -> unit -> t
     Hyaline-S, plus a no-stall Epoch baseline, each cell sampling a
     resident-bytes timeline every [budget/40] cost units. *)
 
+val waitfree : ?scale:scale -> unit -> t
+(** The Crystalline wait-freedom sweep: the {!footprint} adversary (hash
+    map, 2 permanently stalled readers) over Epoch / Hyaline /
+    Hyaline-1S / Crystalline-L / Crystalline-W plus a no-stall Epoch
+    baseline — the memory half of the [figures.exe waitfree] verdict;
+    the per-op step-count half runs uncached via
+    [Verify.steps_probe]. *)
+
 val service_sweep : ?scale:scale -> unit -> t
 (** The session-cache service sweep (ROADMAP item 1): an open-loop
     hashmap cell per scheme (Epoch / HP / HE / IBR / Hyaline /
@@ -144,6 +152,6 @@ type axes = {
 
 val conformance :
   ?schemes:string list -> ?structures:Registry.structure list -> unit -> axes
-(** Defaults: all 11 canonical schemes × all 7 structures. *)
+(** Defaults: all 13 canonical schemes × all 7 structures. *)
 
 val pairs : axes -> (string * Registry.structure) list

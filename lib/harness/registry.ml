@@ -55,9 +55,17 @@ let supported structure (scheme_name : string) =
 
 let baseline_names = [ "Leaky"; "Epoch"; "IBR"; "HE"; "HP" ]
 let hyaline_names = [ "Hyaline"; "Hyaline-1"; "Hyaline-S"; "Hyaline-1S" ]
+let crystalline_names = [ "Crystalline-L"; "Crystalline-W" ]
 let llsc_names = [ "Hyaline/llsc"; "Hyaline-S/llsc" ]
 let scheme_names (_ : arch) = baseline_names @ hyaline_names
-let every_scheme_name = baseline_names @ hyaline_names @ llsc_names
+
+(* The benchmark-report scheme set: the paper-figure nine plus the
+   Crystalline follow-ups. Figure sweeps (fig8/fig9/...) keep the
+   paper's own scheme list; the bench/micro reports cover the lineage. *)
+let bench_scheme_names arch = scheme_names arch @ crystalline_names
+
+let every_scheme_name =
+  baseline_names @ hyaline_names @ crystalline_names @ llsc_names
 
 module type S = sig
   val runtime_name : string
@@ -174,6 +182,8 @@ module Make (R : Smr_runtime.Runtime_intf.S) : S = struct
   module Hyaline_s = Hyaline_core.Hyaline_s.Make (R)
   module Hyaline_s_llsc = Hyaline_core.Hyaline_s.Make_llsc (R)
   module Hyaline1s = Hyaline_core.Hyaline1s.Make (R)
+  module Crystalline_l = Crystalline.Crystalline_l.Make (R)
+  module Crystalline_w = Crystalline.Crystalline_w.Make (R)
 
   let baselines : (string * (module SMR)) list =
     [
@@ -201,6 +211,12 @@ module Make (R : Smr_runtime.Runtime_intf.S) : S = struct
           ("Hyaline-1S", (module Hyaline1s));
         ]
 
+  let crystalline_family : (string * (module SMR)) list =
+    [
+      ("Crystalline-L", (module Crystalline_l));
+      ("Crystalline-W", (module Crystalline_w));
+    ]
+
   let llsc_variants : (string * (module SMR)) list =
     [
       ("Hyaline/llsc", (module Hyaline_llsc));
@@ -208,10 +224,10 @@ module Make (R : Smr_runtime.Runtime_intf.S) : S = struct
     ]
 
   let all_schemes arch = baselines @ hyaline_family arch
-  let every_scheme = all_schemes X86 @ llsc_variants
+  let every_scheme = all_schemes X86 @ crystalline_family @ llsc_variants
 
   let scheme_of_name ?(arch = X86) name =
-    List.assoc_opt name (all_schemes arch @ llsc_variants)
+    List.assoc_opt name (all_schemes arch @ crystalline_family @ llsc_variants)
 
   let schemes_for structure arch =
     List.filter (fun (n, _) -> supported structure n) (all_schemes arch)

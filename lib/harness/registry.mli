@@ -8,9 +8,11 @@
     its own scheme or structure list — they all enumerate through this
     module, so adding a scheme or structure is a one-file change.
 
-    Canonical scheme names (11): [Leaky], [Epoch], [IBR], [HE], [HP],
-    [Hyaline], [Hyaline-1], [Hyaline-S], [Hyaline-1S], and the LL/SC-headed
-    variants [Hyaline/llsc] and [Hyaline-S/llsc] (Fig. 7 head model).
+    Canonical scheme names (13): [Leaky], [Epoch], [IBR], [HE], [HP],
+    [Hyaline], [Hyaline-1], [Hyaline-S], [Hyaline-1S], the Crystalline
+    follow-ups [Crystalline-L] and [Crystalline-W] (arXiv:2108.02763),
+    and the LL/SC-headed variants [Hyaline/llsc] and [Hyaline-S/llsc]
+    (Fig. 7 head model).
     Canonical structure names (7): [list], [hashmap], [nm-tree], [bonsai],
     [skiplist], [stack], [queue]. *)
 
@@ -60,9 +62,14 @@ val scheme_names : arch -> string list
 (** The scheme set as plotted in the paper's figures for [arch] (9 names;
     the Hyaline family keeps its plain names, the arch picks the head). *)
 
+val bench_scheme_names : arch -> string list
+(** The benchmark-report set: [scheme_names arch] plus [Crystalline-L]
+    and [Crystalline-W]. Figure sweeps keep the paper's own scheme list;
+    the bench/micro reports cover the whole Hyaline lineage. *)
+
 val every_scheme_name : string list
-(** All 11 canonical scheme names, including the explicitly LL/SC-headed
-    variants — the conformance-matrix extent. *)
+(** All 13 canonical scheme names, including the Crystalline pair and the
+    explicitly LL/SC-headed variants — the conformance-matrix extent. *)
 
 (** A registry instance: the full scheme table over one runtime. *)
 module type S = sig
@@ -73,9 +80,9 @@ module type S = sig
       [scheme_names arch]. *)
 
   val every_scheme : (string * (module SMR)) list
-  (** All 11 canonical schemes (x86 set plus the LL/SC-headed variants
-      under their own names) — what conformance and micro-benchmarks
-      enumerate. *)
+  (** All 13 canonical schemes (x86 set, the Crystalline pair, plus the
+      LL/SC-headed variants under their own names) — what conformance
+      and micro-benchmarks enumerate. *)
 
   val scheme_of_name : ?arch:arch -> string -> (module SMR) option
   (** Resolve a canonical name (default arch: [X86]; under [Ppc] the plain

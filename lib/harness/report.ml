@@ -341,13 +341,14 @@ let parse j =
   }
 
 (** Check that the parsed report covers every scheme in [schemes] (default:
-    the full x86 registry) and that each covered run carries at least one
-    scheme-specific series counter. *)
+    the full x86 bench registry — the paper schemes plus the Crystalline
+    pair) and that each covered run carries at least one scheme-specific
+    series counter. *)
 let validate ?schemes parsed =
   let required =
     match schemes with
     | Some s -> s
-    | None -> Registry.scheme_names Registry.X86
+    | None -> Registry.bench_scheme_names Registry.X86
   in
   let covered name =
     List.exists (fun p -> String.equal p.p_scheme name) parsed.p_points
@@ -370,7 +371,8 @@ let validate ?schemes parsed =
 let collect ?domains ?cache ?on_progress ~name ~arch ~scale ~structures
     ~thread_counts () =
   let plan =
-    Plan.grid ~name ~arch ~scale ~mix:Workload.write_heavy ~structures
+    Plan.grid ~name ~arch ~scale ~mix:Workload.write_heavy
+      ~schemes:(Registry.bench_scheme_names arch) ~structures
       ~threads:thread_counts ()
   in
   let summary = Executor.run ?domains ?cache ?on_progress plan in

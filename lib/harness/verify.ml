@@ -217,13 +217,18 @@ type robustness = {
    scheme's peak unreclaimed stays bounded by its batch geometry; a
    non-robust scheme's grows linearly with the churn.
 
+   [fault] picks the adversary: [`Stall] parks the reader forever
+   (Fig. 10a); [`Kill] discards it outright — a crashed thread whose
+   guard is abandoned in place, the harsher model the Crystalline
+   wait-freedom probes add.
+
    The fault plan makes the entry deterministic under ANY picker: the
    writers are suspended for the first [handoff] decisions, so only the
    reader runs until it is provably inside its bracket (enter plus a few
    protected reads); at decision [handoff] the reader is stalled for
    good and the writers are released. *)
-let robustness_probe ?(seed = 3) ?(churn = 160) ?(writers = 2) ?name
-    (module S : SMR) : robustness =
+let robustness_probe ?(seed = 3) ?(churn = 160) ?(writers = 2)
+    ?(fault = `Stall) ?name (module S : SMR) : robustness =
   let name = Option.value name ~default:S.scheme_name in
   let module Map = Smr_ds.Michael_hashmap.Make (S) in
   let captured = ref None in
@@ -260,7 +265,9 @@ let robustness_probe ?(seed = 3) ?(churn = 160) ?(writers = 2) ?name
   in
   let handoff = 24 in
   let faults =
-    Explore.stall_at ~victim:0 ~at:handoff ()
+    (match fault with
+    | `Stall -> Explore.stall_at ~victim:0 ~at:handoff ()
+    | `Kill -> Explore.kill_at ~victim:0 ~at:handoff ())
     :: List.init writers (fun i ->
            Explore.stall_at ~victim:(i + 1) ~at:1 ~resume_at:handoff ())
   in
@@ -298,3 +305,166 @@ let probe_all ?(seed = 3) ?(churn = 160) ?(writers = 2) () :
       if name = "Leaky" then None
       else Some (robustness_probe ~seed ~churn ~writers ~name (module S)))
     schemes
+
+(* ------------------------------------------------------------------ *)
+(* Wait-freedom probes (Crystalline)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Sched = Smr_runtime.Scheduler
+
+type steps = {
+  s_scheme : string;
+  s_costs : (int * int) list;
+      (** adversary allocation count -> reader cost units per protect *)
+  s_bounded : bool;
+      (** the reader's per-op cost stays flat as the adversary's
+          allocation budget grows — the machine-checked wait-freedom
+          signature (an era-loop scheme's cost grows with the budget) *)
+}
+
+(* Measure what one protected read costs a reader while an adversary
+   floods era advances. The scheduler is driven directly (no explorer):
+   a deterministic picker hands the adversary [ratio] decisions for
+   every reader decision — the starvation schedule — and the tracer adds
+   up the cost units charged to the reader alone. Under this schedule an
+   era-validation loop (Hyaline-1S, Crystalline-L) re-reads until the
+   adversary's allocation budget is exhausted, so its per-op cost grows
+   linearly with [churn]; Crystalline-W's handshake completes each
+   parked read as part of the very next era advance, so its cost stays
+   flat. *)
+let reader_cost (module S : SMR) ~ops ~churn ~ratio ~seed =
+  let sched = Sched.create ~seed () in
+  let t =
+    S.create { (tiny_cfg ~threads:2) with batch_size = 4; era_freq = 1 }
+  in
+  let shared = S.R.Atomic.make None in
+  (* Only the protected reads are metered: the final [leave] traverses
+     the slot's accumulated batch list, whose length grows with the
+     adversary's churn for every Hyaline-family scheme — reclamation
+     work, not read-path work, and not what wait-freedom bounds. *)
+  let measuring = ref false in
+  let reader () =
+    let g = S.enter t in
+    measuring := true;
+    for _ = 1 to ops do
+      match
+        S.protect t g ~idx:0
+          ~read:(fun () -> S.R.Atomic.get shared)
+          ~target:(fun v -> v)
+      with
+      | Some n -> ignore (S.data n)
+      | None -> ()
+    done;
+    measuring := false;
+    S.leave t g
+  in
+  let adversary () =
+    let g = S.enter t in
+    for i = 1 to churn do
+      let n = S.alloc t i in
+      (match S.R.Atomic.exchange shared (Some n) with
+      | Some old -> S.retire t g old
+      | None -> ())
+    done;
+    S.leave t g
+  in
+  let reader_tid = ref (-1) and adv_tid = ref (-1) in
+  let decisions = ref 0 in
+  Sched.set_picker sched
+    (Some
+       (fun width ->
+         incr decisions;
+         let want =
+           if !decisions mod ratio = 0 then !reader_tid else !adv_tid
+         in
+         let slot = ref 0 in
+         for i = 0 to width - 1 do
+           if Sched.runnable_tid sched i = want then slot := i
+         done;
+         !slot));
+  let cost = ref 0 in
+  Sched.set_tracer sched
+    (Some
+       (function
+         | Sched.Ev_step { tid; cost = c; _ }
+           when tid = !reader_tid && !measuring ->
+             cost := !cost + c
+         | _ -> ()));
+  reader_tid := Sched.spawn sched reader;
+  adv_tid := Sched.spawn sched adversary;
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | Sched.Budget_exhausted | Sched.Only_stalled ->
+      invalid_arg "Verify.reader_cost: probe did not finish");
+  !cost / ops
+
+(* The sweep starts high enough that every one of the reader's protects
+   falls inside the contention phase at every point — otherwise the mean
+   is diluted by uncontended tail reads and every scheme looks flat. *)
+let steps_probe ?(ops = 16) ?(ratio = 8) ?(seed = 5)
+    ?(churns = [ 512; 2048; 8192 ]) ?name (module S : SMR) : steps =
+  let name = Option.value name ~default:S.scheme_name in
+  let costs =
+    List.map
+      (fun churn -> (churn, reader_cost (module S) ~ops ~churn ~ratio ~seed))
+      churns
+  in
+  let lo = List.fold_left (fun acc (_, c) -> min acc c) max_int costs in
+  let hi = List.fold_left (fun acc (_, c) -> max acc c) 0 costs in
+  (* Flat = the largest sweep point costs at most 4x the smallest; the
+     era-loop schemes blow through this by an order of magnitude. *)
+  { s_scheme = name; s_costs = costs; s_bounded = hi <= 4 * lo }
+
+(* The combined machine-checked wait-freedom verdict. Memory axis: under
+   a reader stalled OR killed mid-bracket, the Crystalline pair stays
+   within the robust bound while Epoch and plain Hyaline grow with the
+   churn. Steps axis: Crystalline-W's per-op cost stays flat under the
+   starvation schedule while Crystalline-L's (the same engine minus the
+   handshake) grows with the adversary's budget. Only Crystalline-W is
+   bounded on both axes — Epoch's reads are cheap but its memory is
+   unbounded; Crystalline-L's memory is bounded but its reads are not. *)
+type waitfree = {
+  wf_steps : steps list;
+  wf_stall : robustness list;
+  wf_kill : robustness list;
+  wf_ok : bool;
+  wf_bound : int;  (** the robust peak-unreclaimed bound used *)
+}
+
+let wf_mem_schemes =
+  [ "Epoch"; "Hyaline"; "Hyaline-1S"; "Crystalline-L"; "Crystalline-W" ]
+
+let wf_steps_schemes =
+  [ "Epoch"; "Hyaline-1S"; "Crystalline-L"; "Crystalline-W" ]
+
+let waitfree_probe ?(seed = 3) ?(churn = 160) ?(writers = 2) () : waitfree =
+  let pick names =
+    List.filter (fun (n, _) -> List.mem n names) schemes
+  in
+  let mem fault =
+    List.map
+      (fun (name, s) -> robustness_probe ~seed ~churn ~writers ~fault ~name s)
+      (pick wf_mem_schemes)
+  in
+  let wf_stall = mem `Stall and wf_kill = mem `Kill in
+  let wf_steps =
+    List.map (fun (name, s) -> steps_probe ~name s) (pick wf_steps_schemes)
+  in
+  let bound = robust_bound ~writers in
+  let peak rows name =
+    (List.find (fun r -> r.r_scheme = name) rows).r_peak
+  in
+  let steps_bounded name =
+    (List.find (fun s -> s.s_scheme = name) wf_steps).s_bounded
+  in
+  let mem_bounded name = peak wf_stall name <= bound && peak wf_kill name <= bound in
+  let mem_diverges name = peak wf_stall name > 2 * bound && peak wf_kill name > 2 * bound in
+  let wf_ok =
+    mem_bounded "Crystalline-W" && mem_bounded "Crystalline-L"
+    && mem_bounded "Hyaline-1S" && mem_diverges "Epoch"
+    && mem_diverges "Hyaline" && steps_bounded "Crystalline-W"
+    && steps_bounded "Epoch"
+    && (not (steps_bounded "Crystalline-L"))
+    && not (steps_bounded "Hyaline-1S")
+  in
+  { wf_steps; wf_stall; wf_kill; wf_ok; wf_bound = bound }

@@ -454,6 +454,9 @@ let shrink ?faults ?(budget = 2_000) program schedule =
     List.filteri (fun i _ -> i < lo || i >= lo + len) s
   in
   let with_nth s i v = List.mapi (fun j x -> if j = i then v else x) s in
+  let zeroed s lo len =
+    List.mapi (fun i x -> if i >= lo && i < lo + len then 0 else x) s
+  in
   while !improved && !runs < budget do
     improved := false;
     (* Chunk deletion, halving chunk sizes. *)
@@ -462,6 +465,17 @@ let shrink ?faults ?(budget = 2_000) program schedule =
       let i = ref 0 in
       while !i + !size <= List.length !best do
         if not (consider (without !best !i !size)) then i := !i + 1
+      done;
+      size := !size / 2
+    done;
+    (* Chunk zeroing: unlike deletion, writing zeros keeps every later
+       decision at its position (and so keeps its meaning), and a run of
+       zeros that reaches the tail is dropped by canonicalization. *)
+    let size = ref (max 1 (List.length !best / 2)) in
+    while !size >= 1 do
+      let i = ref 0 in
+      while !i + !size <= List.length !best do
+        if not (consider (zeroed !best !i !size)) then i := !i + 1
       done;
       size := !size / 2
     done;

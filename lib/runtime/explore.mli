@@ -125,8 +125,11 @@ val replay_outcome :
 val shrink :
   ?faults:fault list -> ?budget:int -> program -> int list -> int list
 (** Minimize a violating schedule while preserving its exact failure
-    message: greedy chunk deletion (delta-debugging style) plus
-    per-decision lowering toward slot 0, iterated to a fixpoint or until
-    [budget] replays (default 2000) are spent. The result replays to the
-    same failure and is at most as long as the input. Raises
-    [Invalid_argument] if the input schedule does not fail. *)
+    message: greedy chunk deletion (delta-debugging style), chunk
+    zeroing (which, unlike deletion, keeps every later decision at its
+    position and so preserves its meaning — a zero run reaching the tail
+    is then dropped by canonicalization), and per-decision lowering
+    toward slot 0, iterated to a fixpoint or until [budget] replays
+    (default 2000) are spent. The result replays to the same failure and
+    is at most as long as the input. Raises [Invalid_argument] if the
+    input schedule does not fail. *)

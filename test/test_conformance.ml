@@ -33,16 +33,39 @@ let test_matrix () =
     "half the grid is churn-mode"
     (List.length cells / 2)
     (List.length churn_cells);
-  Alcotest.(check bool) "at least 11 schemes" true (n_schemes >= 11);
-  Alcotest.(check int) "7 structures" 7 n_structures;
-  (* Bonsai x {HP, HE} are the only exclusions, in all three modes. *)
+  (* Cardinalities derive from the registry tables, not literals: adding
+     a scheme must grow the matrix here automatically, and a registry
+     regression (dropped scheme, shrunken structure list) must fail. *)
+  Alcotest.(check int)
+    "scheme axis is the registry's full set"
+    (List.length Smr_harness.Registry.every_scheme_name)
+    n_schemes;
+  Alcotest.(check bool) "at least 13 schemes" true (n_schemes >= 13);
+  Alcotest.(check int)
+    "structure axis is the registry's full set"
+    (List.length Smr_harness.Registry.structures)
+    n_structures;
+  (* The skipped cells are exactly the registry's unsupported pairs
+     (today: Bonsai x {HP, HE}) in all three modes, churn and static. *)
+  let unsupported_pairs =
+    List.length
+      (List.filter
+         (fun (scheme, structure) ->
+           not (Smr_harness.Registry.supported structure scheme))
+         (List.concat_map
+            (fun (scheme, _) ->
+              List.map (fun st -> (scheme, st)) Verify.structures)
+            Verify.schemes))
+  in
   let skipped =
     List.filter
       (fun c ->
         match c.Verify.c_verdict with Verify.Skipped _ -> true | _ -> false)
       cells
   in
-  Alcotest.(check int) "skips are exactly Bonsai x {HP,HE}" 12
+  Alcotest.(check int)
+    "skips are exactly the registry's unsupported pairs"
+    (unsupported_pairs * 3 * 2)
     (List.length skipped);
   List.iter
     (fun c ->

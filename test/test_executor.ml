@@ -286,7 +286,16 @@ let test_golden_cell_hashes () =
     (Plan.cell ~scheme:"Hyaline" ~structure:Registry.Hashmap ~threads:8 ());
   check "hyaline-s/skiplist t=4 stalled=2" "544e3e0fa4f3763c4d0971fc5561d468"
     (Plan.cell ~scheme:"Hyaline-S" ~structure:Registry.Skiplist ~threads:4
-       ~stalled:2 ~sample_every:500 ())
+       ~stalled:2 ~sample_every:500 ());
+  (* The Crystalline pair: the scheme name is part of the cell key, so
+     these pins freeze both the canonical names and the key schema for
+     the waitfree sweep's cache entries. *)
+  check "crystalline-l/hashmap t=8" "df261b080f561bed274527bcada6a7c2"
+    (Plan.cell ~scheme:"Crystalline-L" ~structure:Registry.Hashmap ~threads:8
+       ());
+  check "crystalline-w/hashmap t=8 stalled=2" "57e98d069b1ddd2ac861883234991fb2"
+    (Plan.cell ~scheme:"Crystalline-W" ~structure:Registry.Hashmap ~threads:8
+       ~stalled:2 ())
 
 let test_golden_workload_point () =
   let run cell =

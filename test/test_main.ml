@@ -18,6 +18,7 @@ let () =
       ("native-parity", Test_native_parity.suite);
       ("explore", Test_explore.suite);
       ("conformance", Test_conformance.suite);
+      ("crystalline", Test_crystalline.suite);
       ("schemes-unit", Test_schemes_unit.suite);
       ("linearize", Test_linearize.suite);
       ("metrics", Test_metrics.suite);

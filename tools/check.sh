@@ -124,6 +124,33 @@ grep -q "(100% cached)" "$tmpdir/service2.log" || {
 cmp "$tmpdir/svc1/BENCH_service.json" "$tmpdir/svc2/BENCH_service.json" || {
   echo "service smoke: warm-cache report differs"; exit 1; }
 
+# Waitfree smoke: the Crystalline wait-freedom sweep must reproduce both
+# halves of the verdict — bounded resident bytes under permanently
+# stalled readers for the Crystalline pair where Epoch diverges, and
+# flat per-op reader step counts under a starvation schedule plus
+# stall/kill peaks within the robustness bound. The driver prints a
+# one-line machine-checked verdict and writes BENCH_waitfree.json; a
+# second run over the same cache must execute zero cells and reproduce
+# the artifact byte for byte.
+echo "==> waitfree smoke run"
+mkdir "$tmpdir/wf1" "$tmpdir/wf2"
+dune exec bin/figures.exe -- waitfree --cache-dir "$tmpdir/wfcache" \
+  -o "$tmpdir/wf1" >"$tmpdir/waitfree1.log" || {
+  echo "waitfree smoke: driver failed"; cat "$tmpdir/waitfree1.log"; exit 1; }
+grep -q "waitfree verdict: wait-free ok" "$tmpdir/waitfree1.log" || {
+  echo "waitfree smoke: wait-freedom verdict lost"
+  cat "$tmpdir/waitfree1.log"; exit 1; }
+test -s "$tmpdir/wf1/BENCH_waitfree.json"
+dune exec bin/figures.exe -- waitfree --cache-dir "$tmpdir/wfcache" \
+  -o "$tmpdir/wf2" >"$tmpdir/waitfree2.log" || {
+  echo "waitfree smoke: warm-cache run failed"; cat "$tmpdir/waitfree2.log"; exit 1; }
+grep -q "executed=0 " "$tmpdir/waitfree2.log" || {
+  echo "waitfree smoke: warm run re-executed cells"; cat "$tmpdir/waitfree2.log"; exit 1; }
+grep -q "(100% cached)" "$tmpdir/waitfree2.log" || {
+  echo "waitfree smoke: warm run was not fully cached"; cat "$tmpdir/waitfree2.log"; exit 1; }
+cmp "$tmpdir/wf1/BENCH_waitfree.json" "$tmpdir/wf2/BENCH_waitfree.json" || {
+  echo "waitfree smoke: warm-cache report differs"; exit 1; }
+
 # Budgeted adversarial verification: the full scheme x structure matrix
 # under sleep-set DFS, random walks and PCT, plus the stall-injection
 # robustness probes — fixed seeds, smoke budgets (the whole sweep is a

@@ -176,6 +176,62 @@ let bench_scan () =
   in
   (cost ~capacity:144, cost ~capacity:2)
 
+(* -- section 4b: retire-path allocation ------------------------------------ *)
+
+(* GC pressure of the Hyaline retire path, the denominator of every
+   full-scale service number: a single registered thread allocating and
+   retiring nodes through the real engine (slot-list insertion, batch
+   sealing at the configured k, FIFO frees). Reported as OCaml minor
+   words per alloc+retire pair — the observable the allocation-regression
+   gate in tools/check.sh pins — plus wall-clock retires/sec. *)
+let bench_retire ~ops =
+  let module S =
+    (val Option.get (Registry.Sim.scheme_of_name "Hyaline") : Registry.SMR)
+  in
+  let t = S.create Smr.Smr_intf.default_config in
+  ignore (S.register ~tid:0 t);
+  let sched = Sched.create ~seed:6 () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         for i = 1 to ops do
+           let g = S.enter t in
+           S.retire t g (S.alloc t i);
+           S.leave t g
+         done;
+         S.flush t));
+  let minor0 = Gc.minor_words () in
+  let t0 = now_s () in
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | _ -> failwith "selfbench: retire section did not finish");
+  let wall = now_s () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  (ops, minor /. float_of_int (max 1 ops), wall)
+
+(* -- section 4c: timer-queue throughput ------------------------------------ *)
+
+(* The scheduler's sleep queue at open-loop scale: [sleepers] parked
+   threads (the shape of 10^4 idle simulated clients), each sleeping
+   [rounds] times on staggered deadlines. One timer op = one heap push +
+   one pop; the sorted-list queue this replaced made each push O(n), so
+   this section is where that would re-surface as a rate collapse. *)
+let bench_timers ~sleepers =
+  let rounds = 5 in
+  let sched = Sched.create ~seed:7 () in
+  for i = 1 to sleepers do
+    ignore
+      (Sched.spawn sched (fun () ->
+           for r = 1 to rounds do
+             Sched.sleep_until ((r * 100_000) + i)
+           done))
+  done;
+  let t0 = now_s () in
+  (match Sched.run sched with
+  | Sched.All_finished -> ()
+  | _ -> failwith "selfbench: timers section did not finish");
+  let wall = now_s () -. t0 in
+  (sleepers, sleepers * rounds, wall)
+
 (* -- section 5: traffic-driver overhead ------------------------------------ *)
 
 (* Open- vs closed-loop driver cost, pinned on the same cell: the open-loop
@@ -228,7 +284,10 @@ let () =
   let c_threads, c_ops, c_cost, c_wall = bench_cells ~budget:cells_budget in
   let w_cells, w_cost, w_wall = bench_sweep () in
   let p_domains, p_cells, p_seq_wall, p_par_wall = bench_parallel_sweep () in
+  let cores = Domain.recommended_domain_count () in
   let scan_wide, scan_tight = bench_scan () in
+  let r_ops, r_minor_per_op, r_wall = bench_retire ~ops:(200_000 / scale) in
+  let t_sleepers, t_ops, t_wall = bench_timers ~sleepers:(10_000 / scale) in
   let sv_closed_cost, sv_closed_wall, sv_open_cost, sv_open_wall =
     bench_service ()
   in
@@ -244,10 +303,20 @@ let () =
     w_cells w_cost w_wall (rate w_cells w_wall) (rate w_cost w_wall);
   Fmt.pr
     "selfbench parallel-sweep: %d cells, seq %.3fs (%.2f cells/sec) vs %d \
-     domains %.3fs (%.2f cells/sec), speedup %.2fx, rows identical@."
+     domains %.3fs (%.2f cells/sec), speedup %.2fx (%d cores), rows \
+     identical@."
     p_cells p_seq_wall (rate p_cells p_seq_wall) p_domains p_par_wall
     (rate p_cells p_par_wall)
-    (if p_par_wall > 0.0 then p_seq_wall /. p_par_wall else 0.0);
+    (if p_par_wall > 0.0 then p_seq_wall /. p_par_wall else 0.0)
+    cores;
+  Fmt.pr
+    "selfbench retire: %d alloc+retire pairs in %.3fs = %.3e retires/sec, \
+     %.2f minor words/op@."
+    r_ops r_wall (rate r_ops r_wall) r_minor_per_op;
+  Fmt.pr
+    "selfbench timers: %d timer ops across %d parked threads in %.3fs = \
+     %.3e timer-ops/sec@."
+    t_ops t_sleepers t_wall (rate t_ops t_wall);
   Fmt.pr
     "selfbench scan: EBR flush at 2 live slots costs %d (capacity 144) vs \
      %d (capacity 2), ratio %.2f@."
@@ -311,6 +380,22 @@ let () =
                       (if p_par_wall > 0.0 then p_seq_wall /. p_par_wall
                        else 0.0) );
                   ("rows_identical", Json.Bool true);
+                  ("cores", Json.Int cores);
+                ];
+              section "retire"
+                [
+                  ("scheme", Json.String "Hyaline");
+                  ("ops", Json.Int r_ops);
+                  ("wall_s", Json.Float r_wall);
+                  ("retires_per_sec", Json.Float (rate r_ops r_wall));
+                  ("minor_words_per_op", Json.Float r_minor_per_op);
+                ];
+              section "timers"
+                [
+                  ("parked_threads", Json.Int t_sleepers);
+                  ("timer_ops", Json.Int t_ops);
+                  ("wall_s", Json.Float t_wall);
+                  ("timer_ops_per_sec", Json.Float (rate t_ops t_wall));
                 ];
               section "service"
                 [

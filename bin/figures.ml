@@ -15,7 +15,17 @@ let scale_term =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run at full (paper) scale.")
   in
-  Term.(const (fun f -> if f then Plan.Full else Plan.Quick) $ full)
+  let scale =
+    Arg.(
+      value
+      & opt (enum [ ("quick", Plan.Quick); ("full", Plan.Full) ]) Plan.Quick
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Preset scale: $(b,quick) (default) or $(b,full); $(b,full) \
+                is equivalent to $(b,--full).")
+  in
+  Term.(
+    const (fun f s -> if f || s = Plan.Full then Plan.Full else Plan.Quick)
+    $ full $ scale)
 
 let cache_term =
   let no_cache =

@@ -586,8 +586,23 @@ let churn ?domains ?cache ?on_progress ppf ~scale =
    resident trajectories + greppable verdict line, and hand the artifact
    back so the CLI can write/validate BENCH_service.json. *)
 let service ?domains ?cache ?on_progress ppf ~scale =
-  let t, stats = Service.collect ?domains ?cache ?on_progress ~scale () in
+  let t, stats, wall =
+    Service.collect ?domains ?cache ?on_progress ~scale ()
+  in
   Service.print ppf t;
+  (* Throughput goes to stdout only, never into BENCH_service.json: the
+     cold- and warm-cache runs must produce byte-identical artifacts. The
+     step count is nominal (budget × executed cells; an OOM cell stops
+     short of its budget). *)
+  (if stats.Executor.executed > 0 && wall > 0.0 then
+     let steps = t.Service.budget * stats.Executor.executed in
+     Fmt.pf ppf
+       "service throughput: %d cells x %d sim steps in %.2fs = %.3e \
+        sim-steps/sec@."
+       stats.Executor.executed t.Service.budget wall
+       (float_of_int steps /. wall)
+   else
+     Fmt.pf ppf "service throughput: all cells cached, no fresh execution@.");
   (t, stats)
 
 (* -- Figure 10b: trimming with few slots --------------------------------- *)

@@ -284,7 +284,10 @@ let churn_sweep ?(scale = Quick) () =
    A periodic background reclaimer thread gives every scheme its best
    shot at draining limbo between requests. *)
 let service_sweep ?(scale = Quick) () =
-  let budget = match scale with Quick -> 600_000 | Full -> 1_800_000 in
+  (* Full is the headline ten-million-step open-loop run (ROADMAP item 1):
+     affordable only because the retire path allocates nothing and the
+     timer queue is a heap (DESIGN.md §15). *)
+  let budget = match scale with Quick -> 600_000 | Full -> 10_000_000 in
   let sample_every = budget / 40 in
   let sessions = match scale with Quick -> 160 | Full -> 640 in
   let storm =

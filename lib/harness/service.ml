@@ -167,6 +167,10 @@ let judge ~budget rows =
     v_summary = summary;
   }
 
+(* Returns the report, the executor cache stats and the wall-clock seconds
+   the sweep took. The wall time is for the driver's stdout throughput
+   line only — it must never reach the JSON artifact, which the cold/warm
+   cache smoke compares byte-for-byte. *)
 let collect ?domains ?cache ?on_progress ~scale () =
   let plan = Plan.service_sweep ~scale () in
   let budget =
@@ -174,7 +178,9 @@ let collect ?domains ?cache ?on_progress ~scale () =
     | c :: _ -> (Plan.spec_of_cell c).Workload.budget
     | [] -> 0
   in
+  let started = Unix.gettimeofday () in
   let summary = Executor.run ?domains ?cache ?on_progress plan in
+  let wall = Unix.gettimeofday () -. started in
   let rows =
     List.map
       (fun (r : Executor.row) ->
@@ -184,7 +190,9 @@ let collect ?domains ?cache ?on_progress ~scale () =
         | Executor.Failed msg -> failed_row label msg)
       summary.Executor.rows
   in
-  ({ scale; budget; rows; verdict = judge ~budget rows }, summary.Executor.stats)
+  ( { scale; budget; rows; verdict = judge ~budget rows },
+    summary.Executor.stats,
+    wall )
 
 (* -- printing ------------------------------------------------------------ *)
 

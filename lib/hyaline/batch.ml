@@ -11,7 +11,15 @@
     (a power of two), [Adjs = 2{^63} / k], so a batch is fully adjusted —
     i.e. has accumulated [Adjs] from {i every} slot, making [k × Adjs ≡ 0] —
     before its counter can reach zero. OCaml native ints are 63-bit and
-    modular, so the trick carries over verbatim one bit narrower. *)
+    modular, so the trick carries over verbatim one bit narrower.
+
+    {b Memory layout} (DESIGN.md §15): slot-list links are plain
+    ['a node R.Atomic.t] — the empty link is the {!nil} sentinel, an
+    immediate, so no [Some] box is built per link update. Batch records
+    are mutable and pooled: a batch whose NRef accounting has fully
+    completed returns to its owner's {!type:pool} and the next {!seal}
+    reuses the record, its [nodes] array and its [nref] cell, making the
+    steady-state seal path allocation-free. *)
 
 let log2 =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
@@ -32,18 +40,40 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
     payload : 'a;
     state : Smr.Lifecycle.cell;
     birth : int;  (** birth era (Hyaline-S/1S; 0 otherwise) *)
-    next : 'a node option R.Atomic.t;
-        (** link in the retirement list of the one slot this node joins *)
-    mutable batch : 'a batch option;
-        (** back pointer, set when the node's batch is finalized *)
+    next : 'a node R.Atomic.t;
+        (** link in the retirement list of the one slot this node joins;
+            {!nil} when the node is last (or not yet linked) *)
+    mutable batch : 'a batch;
+        (** back pointer, set when the node's batch is finalized;
+            the immediate-0 sentinel until then *)
   }
 
   and 'a batch = {
     nref : int R.Atomic.t;
-    nodes : 'a node array;  (** [nodes.(0)] plays the NRef-node role *)
-    min_birth : int;
-    adjs : int;  (** frozen at retire time — adaptive resizing, §4.3 *)
+    mutable nodes : 'a node array;
+        (** used prefix [0, len): [nodes.(0)] plays the NRef-node role *)
+    mutable len : int;
+    mutable min_birth : int;
+    mutable adjs : int;  (** frozen at retire time — adaptive resizing, §4.3 *)
+    pool : 'a pool;  (** where this record parks between seals *)
   }
+
+  (** Free-list of batch records whose NRef accounting has completed. The
+      nref of a pooled record is provably 0: every free site is an
+      [fetch_and_add] whose result crossing zero triggered the free, so no
+      reset (and no costed store) is needed on reuse. *)
+  and 'a pool = { mutable free : 'a batch list }
+
+  let make_pool () = { free = [] }
+
+  (* The empty-link sentinel is the immediate 0: never dereferenced (every
+     traversal guards [is_nil] first; [nil] never carries a payload, enters
+     a head, or has its batch looked up), so it needs no backing record and
+     costs nothing to compare against. *)
+  let nil : unit -> 'a node = fun () -> Obj.magic 0
+  let[@inline] is_nil (n : _ node) = Obj.repr n == Obj.repr 0
+  let[@inline] of_opt = function Some n -> n | None -> nil ()
+  let[@inline] same_node (a : _ node) b = a == b
 
   let scheme = "Hyaline"
 
@@ -52,51 +82,80 @@ module Make (R : Smr_runtime.Runtime_intf.S) = struct
      amortised share of the batch record (NRef + min_birth). *)
   let node_overhead_bytes = 40
 
-  let make_node ?bytes ?relieve ?(scheme = scheme) ~counters ~birth payload =
+  (* All labels required: no [Some] box per optional argument on the
+     per-allocation hot path (the lifecycle side is {!Smr.Lifecycle.on_alloc_hot}
+     for the same reason). [bytes = 0] means the arena's default node size. *)
+  let make_node ~bytes ~relieve ~scheme ~counters ~birth payload =
     {
       payload;
-      state = Smr.Lifecycle.on_alloc ?bytes ?relieve ~scheme counters;
+      state = Smr.Lifecycle.on_alloc_hot ~bytes ~relieve ~scheme counters;
       birth;
-      next = R.Atomic.make None;
-      batch = None;
+      next = R.Atomic.make (nil ());
+      batch = Obj.magic 0;
     }
 
-  let batch_of n =
-    match n.batch with
-    | Some b -> b
-    | None -> invalid_arg "Hyaline: node in a retirement list has no batch"
-
-  (* Finalize a batch from the nodes a thread accumulated locally. [adjs]
-     is precomputed by the caller: [Batch.adjs k] for the multi-slot engine
-     (frozen per batch, §4.3), unused (0) for Hyaline-1. *)
-  let seal ~counters ~k ~adjs nodes =
-    let nodes = Array.of_list nodes in
-    assert (Array.length nodes > k);
-    Smr.Lifecycle.tally_retired counters (Array.length nodes);
-    let min_birth =
-      Array.fold_left (fun acc n -> min acc n.birth) max_int nodes
-    in
-    let b = { nref = R.Atomic.make 0; nodes; min_birth; adjs } in
-    Array.iter (fun n -> n.batch <- Some b) nodes;
+  let[@inline] batch_of n =
+    let b = n.batch in
+    if Obj.repr b == Obj.repr 0 then
+      invalid_arg "Hyaline: node in a retirement list has no batch";
     b
 
-  let same_node a b =
-    match (a, b) with
-    | None, None -> true
-    | Some x, Some y -> x == y
-    | None, Some _ | Some _, None -> false
+  (* Finalize a batch from the used prefix [0, len) of [buf], a thread's
+     reusable pending buffer in retirement order (oldest first). The batch
+     keeps the paper's newest-first layout — [nodes.(i) = buf.(len - 1 - i)],
+     so [nodes.(0)] (the NRef-node role) is the newest retirement, exactly
+     as the old list-based accumulator produced. [adjs] is precomputed by
+     the caller: [Batch.adjs k] for the multi-slot engine (frozen per
+     batch, §4.3), unused (0) for Hyaline-1. Reuses a pooled record when
+     one is available; only a pool miss allocates. *)
+  let seal ~counters ~pool ~k ~adjs buf len =
+    assert (len > k);
+    Smr.Lifecycle.tally_retired counters len;
+    let b =
+      match pool.free with
+      | b :: rest ->
+          pool.free <- rest;
+          b
+      | [] ->
+          {
+            nref = R.Atomic.make 0;
+            nodes = [||];
+            len = 0;
+            min_birth = 0;
+            adjs = 0;
+            pool;
+          }
+    in
+    if Array.length b.nodes < len then b.nodes <- Array.make len buf.(0);
+    let nodes = b.nodes in
+    let mb = ref max_int in
+    for i = 0 to len - 1 do
+      let n = buf.(len - 1 - i) in
+      Array.unsafe_set nodes i n;
+      if n.birth < !mb then mb := n.birth;
+      n.batch <- b
+    done;
+    b.len <- len;
+    b.min_birth <- !mb;
+    b.adjs <- adjs;
+    b
 
   let free_batch ~counters b =
-    Array.iter
-      (fun n -> Smr.Lifecycle.on_free ~scheme n.state counters)
-      b.nodes
+    let nodes = b.nodes in
+    for i = 0 to b.len - 1 do
+      Smr.Lifecycle.on_free ~scheme (Array.unsafe_get nodes i).state counters
+    done;
+    (* Drop the node references so the pooled record does not pin freed
+       payloads until its next seal overwrites them. *)
+    for i = 0 to b.len - 1 do
+      Array.unsafe_set nodes i (nil ())
+    done;
+    b.len <- 0;
+    b.pool.free <- b :: b.pool.free
 
   (* adjust (Fig. 3 lines 41-43): add [v] to the batch's NRef; the counter
      crossing zero means the batch is fully adjusted and unreferenced. *)
-  let adjust ~counters node v =
-    match node with
-    | None -> ()
-    | Some n ->
-        let b = batch_of n in
-        if R.Atomic.fetch_and_add b.nref v = -v then free_batch ~counters b
+  let adjust ~counters n v =
+    let b = batch_of n in
+    if R.Atomic.fetch_and_add b.nref v = -v then free_batch ~counters b
 end

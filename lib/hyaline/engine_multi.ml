@@ -4,7 +4,15 @@
     optional adaptive slot resizing §4.3).
 
     Instantiated as [Hyaline], [Hyaline_s] and their LL/SC twins in
-    {!Variants}. *)
+    {!Variants}.
+
+    Hot-path layout (DESIGN.md §15): slot-list links and guard handles are
+    plain nodes with {!Batch.Make.nil} standing in for "no node" — the head
+    views keep their option type (the boxed view record is what the dwCAS
+    emulation compares), and the conversion happens once per load at the
+    engine boundary. Pending batches accumulate in a reusable per-thread
+    array, and sealed batch records are pooled, so the steady-state
+    retire/seal path performs no OCaml allocation. *)
 
 (* Shared head-tuple record type. *)
 open Head_intf
@@ -29,7 +37,10 @@ struct
     ack : int R.Atomic.t;  (* stalled-slot detector (Fig. 5) *)
   }
 
-  type 'a pending = { mutable nodes : 'a B.node list; mutable len : int }
+  (* Reusable retirement buffer: the used prefix [0, len) holds this
+     thread's batch under construction in retirement order (oldest
+     first — [seal] restores the newest-first batch layout). *)
+  type 'a pending = { mutable buf : 'a B.node array; mutable len : int }
 
   type 'a t = {
     cfg : Smr.Smr_intf.config;
@@ -43,6 +54,10 @@ struct
     era : int R.Atomic.t;  (* AllocEra *)
     alloc_clock : int Stdlib.Atomic.t;
     pending : 'a pending array;  (* per-thread batch under construction *)
+    pool : 'a B.pool;  (* recycled batch records *)
+    mutable on_pressure : unit -> unit;
+        (* [relieve_pressure t], built once at create so the allocation
+           path does not close over [t] per node *)
     (* Metrics (plain atomics, invisible to the cost model). *)
     m_sealed : Smr.Metrics.Counter.t;
     m_sealed_nodes : Smr.Metrics.Counter.t;
@@ -56,7 +71,7 @@ struct
     sid : int;  (* registered slot id, indexing [pending] *)
     slot : 'a slot;
     slot_idx : int;
-    handle : 'a B.node option;
+    handle : 'a B.node;  (* nil when the thread entered on an empty list *)
   }
 
   let next_pow2 n =
@@ -66,54 +81,47 @@ struct
   let make_slot _ =
     { head = H.make (); access = R.Atomic.make 0; ack = R.Atomic.make 0 }
 
-  let create (cfg : Smr.Smr_intf.config) =
-    {
-      cfg;
-      counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
-      reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
-      dir = Dir.create ~kmin:(next_pow2 cfg.slots) ~make_slot;
-      era = R.Atomic.make 0;
-      alloc_clock = Stdlib.Atomic.make 0;
-      pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
-      m_sealed = Smr.Metrics.Counter.make "batches_sealed";
-      m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
-      m_trims = Smr.Metrics.Counter.make "trims";
-      m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
-      m_leave_retries = Smr.Metrics.Counter.make "leave_cas_retries";
-      m_slot_grows = Smr.Metrics.Counter.make "slot_grows";
-    }
-
   let current_slots t = Dir.k t.dir
 
   let data (n : 'a node) =
     Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
     n.payload
 
+  (* Append to the thread's retirement buffer; grows by doubling, so the
+     steady state (buffer at the sealing threshold) never reallocates. *)
+  let push_pending p n =
+    let cap = Array.length p.buf in
+    if p.len = cap then begin
+      let nbuf = Array.make (max 8 (2 * cap)) n in
+      Array.blit p.buf 0 nbuf 0 p.len;
+      p.buf <- nbuf
+    end;
+    Array.unsafe_set p.buf p.len n;
+    p.len <- p.len + 1
+
   (* Fig. 5 enter: probe for a slot not poisoned by stalled threads; when
      all k slots are saturated either grow the directory (§4.3) or fall
      back to the starting slot (the capped behaviour of Fig. 10a). *)
+  let rec probe_slot t start i tried k =
+    let s = Dir.get t.dir i in
+    if R.Atomic.get s.ack < t.cfg.ack_threshold then i
+    else if tried + 1 < k then probe_slot t start ((i + 1) mod k) (tried + 1) k
+    else if t.cfg.adaptive then begin
+      Dir.grow t.dir ~from:k;
+      let k' = Dir.k t.dir in
+      if k' > k then begin
+        Smr.Metrics.Counter.incr t.m_slot_grows;
+        probe_slot t start k 0 k'
+      end
+      else start
+    end
+    else start
+
   let choose_slot t tid =
     let k = Dir.k t.dir in
     let start = tid mod k in
     if not F.robust then start
-    else begin
-      let rec probe i tried k =
-        let s = Dir.get t.dir i in
-        if R.Atomic.get s.ack < t.cfg.ack_threshold then i
-        else if tried + 1 < k then probe ((i + 1) mod k) (tried + 1) k
-        else if t.cfg.adaptive then begin
-          Dir.grow t.dir ~from:k;
-          let k' = Dir.k t.dir in
-          if k' > k then begin
-            Smr.Metrics.Counter.incr t.m_slot_grows;
-            probe k 0 k'
-          end
-          else start
-        end
-        else start
-      in
-      probe start 0 k
-    end
+    else probe_slot t start start 0 k
 
   (* Free join/leave, as in the single-slot engine: a departing thread's
      unsealed pending batch stays with its recycled index and is drained
@@ -129,164 +137,161 @@ struct
     let slot_idx = choose_slot t sid in
     let slot = Dir.get t.dir slot_idx in
     let seen = H.enter_faa slot.head in
-    { sid; slot; slot_idx; handle = seen.hptr }
+    { sid; slot; slot_idx; handle = B.of_opt seen.hptr }
 
   (* Fig. 3 traverse, plus the Fig. 5 ack decrement for the robust flavour.
      Decrements every node from [first] through [handle] inclusive; batches
      whose NRef reaches zero are freed afterwards, in FIFO order (§4.1's
      deferred deallocation). *)
+  (* Ack debits must equal the credits this thread accumulated (+1 per
+     batch inserted during its presence, Fig. 5 line 16). The current
+     first node is decremented through the HRef CAS, never visited here,
+     so its debit is carried by the handle node when the traversal ends
+     there — and by the list end when it runs off a Null instead (the
+     thread entered on an empty or since-detached list). Counting visited
+     nodes plus one for a Null terminator makes every slot's Ack sum to
+     exactly the unacknowledged references of its stalled occupants.
+     Returns [(count, to_free)]; the list holds zero-NRef batches in
+     reverse detection order. *)
+  let rec traverse_go count to_free curr handle =
+    if B.is_nil curr then (count + 1, to_free)
+    else begin
+      Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
+        curr.B.state;
+      let next = R.Atomic.get curr.B.next in
+      let b = B.batch_of curr in
+      let to_free =
+        if R.Atomic.fetch_and_add b.nref (-1) = 1 then b :: to_free
+        else to_free
+      in
+      if B.same_node curr handle then (count + 1, to_free)
+      else traverse_go (count + 1) to_free next handle
+    end
+
   let traverse t slot first handle =
-    let to_free = ref [] in
-    let count = ref 0 in
-    (* Ack debits must equal the credits this thread accumulated (+1 per
-       batch inserted during its presence, Fig. 5 line 16). The current
-       first node is decremented through the HRef CAS, never visited here,
-       so its debit is carried by the handle node when the traversal ends
-       there — and by the list end when it runs off a Null instead (the
-       thread entered on an empty or since-detached list). Counting visited
-       nodes plus one for a Null terminator makes every slot's Ack sum to
-       exactly the unacknowledged references of its stalled occupants. *)
-    let hit_null = ref false in
-    let rec go curr =
-      match curr with
-      | None -> hit_null := true
-      | Some n ->
-          incr count;
-          Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
-            n.B.state;
-          let next = R.Atomic.get n.B.next in
-          let b = B.batch_of n in
-          if R.Atomic.fetch_and_add b.nref (-1) = 1 then
-            to_free := b :: !to_free;
-          if not (B.same_node curr handle) then go next
-    in
-    go first;
-    if !hit_null then incr count;
-    if F.robust && !count > 0 then
-      ignore (R.Atomic.fetch_and_add slot.ack (- !count));
-    List.iter (B.free_batch ~counters:t.counters) (List.rev !to_free)
+    let count, to_free = traverse_go 0 [] first handle in
+    if F.robust && count > 0 then
+      ignore (R.Atomic.fetch_and_add slot.ack (-count));
+    List.iter (B.free_batch ~counters:t.counters) (List.rev to_free)
 
   (* Fig. 3 leave. *)
-  let leave t g =
-    let slot = g.slot in
-    let rec attempt () =
-      let seen = H.load slot.head in
-      let curr = seen.hptr in
-      let fresh = not (B.same_node curr g.handle) in
-      let next =
-        if fresh then
-          match curr with Some n -> R.Atomic.get n.B.next | None -> None
-        else None
-      in
-      match H.try_leave slot.head ~seen with
-      | `Fail ->
-          Smr.Metrics.Counter.incr t.m_leave_retries;
-          attempt ()
-      | `Left detached ->
-          (* The last thread detached the list: treat the ex-first node as a
-             predecessor and grant it its slot's Adjs (Fig. 3 lines 16-17,
-             with the per-batch Adjs of §4.3). *)
-          (if detached then
-             match curr with
-             | Some n ->
-                 B.adjust ~counters:t.counters curr (B.batch_of n).adjs
-             | None -> ());
-          if fresh then traverse t slot next g.handle
+  let rec leave_attempt t slot handle =
+    let seen = H.load slot.head in
+    let curr = B.of_opt seen.hptr in
+    let fresh = not (B.same_node curr handle) in
+    let next =
+      if fresh && not (B.is_nil curr) then R.Atomic.get curr.B.next
+      else B.nil ()
     in
-    attempt ()
+    match H.try_leave slot.head ~seen with
+    | `Fail ->
+        Smr.Metrics.Counter.incr t.m_leave_retries;
+        leave_attempt t slot handle
+    | `Left detached ->
+        (* The last thread detached the list: treat the ex-first node as a
+           predecessor and grant it its slot's Adjs (Fig. 3 lines 16-17,
+           with the per-batch Adjs of §4.3). *)
+        if detached && not (B.is_nil curr) then
+          B.adjust ~counters:t.counters curr (B.batch_of curr).adjs;
+        if fresh then traverse t slot next handle
+
+  let leave t g = leave_attempt t g.slot g.handle
 
   (* Fig. 3 trim: dereference everything retired since the handle without
      altering Head; the current first node becomes the new handle. *)
   let trim t g =
     Smr.Metrics.Counter.incr t.m_trims;
     let seen = H.load g.slot.head in
-    let curr = seen.hptr in
+    let curr = B.of_opt seen.hptr in
     if not (B.same_node curr g.handle) then begin
       let next =
-        match curr with Some n -> R.Atomic.get n.B.next | None -> None
+        if B.is_nil curr then B.nil () else R.Atomic.get curr.B.next
       in
       traverse t g.slot next g.handle
     end;
     { g with handle = curr }
 
   (* Fig. 5 touch: raise the slot's access era to at least [era]. *)
-  let touch slot era =
-    let rec go () =
-      let a = R.Atomic.get slot.access in
-      if a >= era then a
-      else if R.Atomic.compare_and_set slot.access a era then era
-      else go ()
-    in
-    go ()
+  let rec touch slot era =
+    let a = R.Atomic.get slot.access in
+    if a >= era then a
+    else if R.Atomic.compare_and_set slot.access a era then era
+    else touch slot era
 
   (* Fig. 5 deref for the robust flavour; a plain read otherwise (basic
      Hyaline needs no per-access work at all, §3). *)
+  let rec protect_attempt t slot read access =
+    let v = read () in
+    let alloc = R.Atomic.get t.era in
+    if access >= alloc then v
+    else protect_attempt t slot read (touch slot alloc)
+
   let protect t g ~idx:_ ~read ~target:_ =
     if not F.robust then read ()
-    else begin
+    else
       let slot = g.slot in
-      let rec attempt access =
-        let v = read () in
-        let alloc = R.Atomic.get t.era in
-        if access >= alloc then v else attempt (touch slot alloc)
-      in
-      attempt (R.Atomic.get slot.access)
-    end
+      protect_attempt t slot read (R.Atomic.get slot.access)
 
   (* Fig. 3 retire (batch insertion into every active slot), with the
-     Fig. 5 REF #1# stale-era skip and ack bump for the robust flavour. *)
+     Fig. 5 REF #1# stale-era skip and ack bump for the robust flavour.
+     [insert_attempt] returns whether the batch node at [cursor] was
+     actually inserted (false: the slot was skipped as inactive/stale). *)
+  let rec insert_attempt t (b : 'a B.batch) slot cursor =
+    let seen = H.load slot.head in
+    let skip =
+      seen.href = 0 || (F.robust && R.Atomic.get slot.access < b.B.min_birth)
+    in
+    if skip then false
+    else begin
+      let node = b.B.nodes.(cursor) in
+      R.Atomic.set_plain node.B.next (B.of_opt seen.hptr);
+      if H.try_insert slot.head ~seen ~first:node then begin
+        if F.robust then ignore (R.Atomic.fetch_and_add slot.ack seen.href);
+        (* REF #2#: adjust the predecessor with its own batch's Adjs
+           plus the HRef snapshot. *)
+        (match seen.hptr with
+        | Some pred ->
+            B.adjust ~counters:t.counters pred
+              ((B.batch_of pred).adjs + seen.href)
+        | None -> ());
+        true
+      end
+      else begin
+        Smr.Metrics.Counter.incr t.m_insert_retries;
+        insert_attempt t b slot cursor
+      end
+    end
+
   let retire_batch t ~k (b : 'a B.batch) =
     let cursor = ref 1 in
     let empty = ref 0 in
     let skipped_any = ref false in
     for i = 0 to k - 1 do
       let slot = Dir.get t.dir i in
-      let rec attempt () =
-        let seen = H.load slot.head in
-        let skip =
-          seen.href = 0
-          || (F.robust && R.Atomic.get slot.access < b.min_birth)
-        in
-        if skip then begin
-          skipped_any := true;
-          empty := !empty + b.adjs
-        end
-        else begin
-          let node = b.nodes.(!cursor) in
-          R.Atomic.set_plain node.B.next seen.hptr;
-          if H.try_insert slot.head ~seen ~first:node then begin
-            incr cursor;
-            if F.robust then
-              ignore (R.Atomic.fetch_and_add slot.ack seen.href);
-            (* REF #2#: adjust the predecessor with its own batch's Adjs
-               plus the HRef snapshot. *)
-            match seen.hptr with
-            | Some pred ->
-                B.adjust ~counters:t.counters seen.hptr
-                  ((B.batch_of pred).adjs + seen.href)
-            | None -> ()
-          end
-          else begin
-            Smr.Metrics.Counter.incr t.m_insert_retries;
-            attempt ()
-          end
-        end
-      in
-      attempt ()
+      if insert_attempt t b slot !cursor then incr cursor
+      else begin
+        skipped_any := true;
+        empty := !empty + b.adjs
+      end
     done;
     (* REF #3#: account for the empty slots on the batch itself. Note that
        when every slot was empty, [empty = k × Adjs ≡ 0] and the FAA frees
        the batch immediately — no thread can reference it. *)
     if !skipped_any then
-      B.adjust ~counters:t.counters (Some b.nodes.(0)) !empty
+      B.adjust ~counters:t.counters b.nodes.(0) !empty
 
   let seal_pending t p ~k =
-    let nodes = p.nodes in
     Smr.Metrics.Counter.incr t.m_sealed;
     Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
-    p.nodes <- [];
+    (* [B.seal] copies the buffer out before the reset below, and neither
+       touches a cost point, so no concurrent retire can interleave on the
+       cooperative runtime. *)
+    let b =
+      B.seal ~counters:t.counters ~pool:t.pool ~k ~adjs:(Batch.adjs k) p.buf
+        p.len
+    in
     p.len <- 0;
-    retire_batch t ~k (B.seal ~counters:t.counters ~k ~adjs:(Batch.adjs k) nodes)
+    retire_batch t ~k b
 
   (* Budget relief (DESIGN.md §9): seal the calling thread's own pending
      batch early, if it already holds the mandatory k+1 nodes — insertion
@@ -298,6 +303,30 @@ struct
     let k = Dir.k t.dir in
     let p = t.pending.(sid) in
     if p.len > k then seal_pending t p ~k
+
+  let create (cfg : Smr.Smr_intf.config) =
+    let t =
+      {
+        cfg;
+        counters =
+          Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
+        reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
+        dir = Dir.create ~kmin:(next_pow2 cfg.slots) ~make_slot;
+        era = R.Atomic.make 0;
+        alloc_clock = Stdlib.Atomic.make 0;
+        pending = Array.init cfg.max_threads (fun _ -> { buf = [||]; len = 0 });
+        pool = B.make_pool ();
+        on_pressure = ignore;
+        m_sealed = Smr.Metrics.Counter.make "batches_sealed";
+        m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
+        m_trims = Smr.Metrics.Counter.make "trims";
+        m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
+        m_leave_retries = Smr.Metrics.Counter.make "leave_cas_retries";
+        m_slot_grows = Smr.Metrics.Counter.make "slot_grows";
+      }
+    in
+    t.on_pressure <- relieve_pressure t;
+    t
 
   let alloc ?bytes t payload =
     let mem_bytes =
@@ -315,24 +344,21 @@ struct
       end
       else 0
     in
-    B.make_node ~bytes:mem_bytes ~relieve:(relieve_pressure t)
+    B.make_node ~bytes:mem_bytes ~relieve:t.on_pressure
       ~scheme:F.scheme_name ~counters:t.counters ~birth payload
 
   let retire t g n =
     Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
       t.counters;
     let p = t.pending.(g.sid) in
-    p.nodes <- n :: p.nodes;
-    p.len <- p.len + 1;
+    push_pending p n;
     let k = Dir.k t.dir in
     if p.len >= max t.cfg.batch_size (k + 1) then seal_pending t p ~k
 
   (* Mid-run reclaimer entry point: seal every pending batch that already
      holds the mandatory k+1 nodes, across all slots — [relieve_pressure]
-     for the whole directory. Allocation-free ([seal_pending] snapshots
-     and resets the pending record with no cost point in between, so no
-     concurrent retire can interleave on the cooperative runtime); a
-     batch still short of k+1 is left to fill, never padded. *)
+     for the whole directory. Allocation-free; a batch still short of k+1
+     is left to fill, never padded. *)
   let relieve t =
     let k = Dir.k t.dir in
     for sid = 0 to t.cfg.max_threads - 1 do
@@ -350,17 +376,12 @@ struct
     for sid = 0 to t.cfg.max_threads - 1 do
       let p = t.pending.(sid) in
       if p.len > 0 then begin
-        let sample =
-          match p.nodes with
-          | n :: _ -> n.B.payload
-          | [] -> assert false
-        in
+        let sample = p.buf.(p.len - 1).B.payload in
         while p.len < needed do
           let d = alloc t sample in
           Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name
             d.B.state t.counters;
-          p.nodes <- d :: p.nodes;
-          p.len <- p.len + 1
+          push_pending p d
         done;
         seal_pending t p ~k
       end

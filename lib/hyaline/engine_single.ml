@@ -7,7 +7,14 @@
     The robust flavour (Hyaline-1S) adds birth eras exactly as in Fig. 5,
     with [touch] reduced to an ordinary write thanks to the 1:1
     thread-to-slot mapping. Fully robust without resizing, since a stalled
-    thread only ever poisons its own slot. *)
+    thread only ever poisons its own slot.
+
+    Hot-path layout (DESIGN.md §15): the head word carries a plain node
+    with {!Batch.Make.nil} as the empty pointer, so an insert builds one
+    two-field word record and no [Some] box. Word records installed by
+    CAS-visible writes stay fresh per install — their physical identity is
+    the CAS version tag — while the [idle] word, which is never a CAS
+    expectation (retire skips inactive slots), is shared per instance. *)
 
 module Make (R : Smr_runtime.Runtime_intf.S) (F : Hyaline_intf.FLAVOR) =
 struct
@@ -20,10 +27,13 @@ struct
   type 'a node = 'a B.node
 
   (* The single-word head: an "active" bit squeezed next to the pointer. *)
-  type 'a word = { active : bool; hptr : 'a B.node option }
+  type 'a word = { active : bool; hptr : 'a B.node }
 
   type 'a slot = { head : 'a word R.Atomic.t; access : int R.Atomic.t }
-  type 'a pending = { mutable nodes : 'a B.node list; mutable len : int }
+
+  (* Reusable retirement buffer (oldest first; [B.seal] restores the
+     newest-first batch layout). *)
+  type 'a pending = { mutable buf : 'a B.node array; mutable len : int }
 
   type 'a t = {
     cfg : Smr.Smr_intf.config;
@@ -34,9 +44,12 @@ struct
        cost delta. The registry just recycles dense slot indices. *)
     reg : Smr.Slot_registry.t;
     slots : 'a slot array;  (* one per registered thread; k = max_threads *)
+    idle : 'a word;  (* the shared inactive word, per instance *)
     era : int R.Atomic.t;
     alloc_clock : int Stdlib.Atomic.t;
     pending : 'a pending array;
+    pool : 'a B.pool;  (* recycled batch records *)
+    mutable on_pressure : unit -> unit;
     (* Metrics (plain atomics, invisible to the cost model). *)
     m_sealed : Smr.Metrics.Counter.t;
     m_sealed_nodes : Smr.Metrics.Counter.t;
@@ -44,32 +57,23 @@ struct
     m_insert_retries : Smr.Metrics.Counter.t;
   }
 
-  type 'a guard = { sid : int; handle : 'a B.node option }
-
-  let idle = { active = false; hptr = None }
-
-  let create (cfg : Smr.Smr_intf.config) =
-    {
-      cfg;
-      counters = Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
-      reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
-      slots =
-        Array.init cfg.max_threads (fun _ ->
-            { head = R.Atomic.make idle; access = R.Atomic.make 0 });
-      era = R.Atomic.make 0;
-      alloc_clock = Stdlib.Atomic.make 0;
-      pending = Array.init cfg.max_threads (fun _ -> { nodes = []; len = 0 });
-      m_sealed = Smr.Metrics.Counter.make "batches_sealed";
-      m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
-      m_trims = Smr.Metrics.Counter.make "trims";
-      m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
-    }
+  type 'a guard = { sid : int; handle : 'a B.node }
 
   let current_slots t = Array.length t.slots
 
   let data (n : 'a node) =
     Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"data" n.state;
     n.payload
+
+  let push_pending p n =
+    let cap = Array.length p.buf in
+    if p.len = cap then begin
+      let nbuf = Array.make (max 8 (2 * cap)) n in
+      Array.blit p.buf 0 nbuf 0 p.len;
+      p.buf <- nbuf
+    end;
+    Array.unsafe_set p.buf p.len n;
+    p.len <- p.len + 1
 
   (* The paper's transparency claim (§2.4), machine-checked by the churn
      experiment: joining and leaving are free — no reservation cells to
@@ -82,96 +86,98 @@ struct
 
   let deregister t s = Smr.Slot_registry.release t.reg s
 
-  (* Fig. 4 enter: a wait-free store. The slot necessarily reads
-     [{false, None}] here — the previous leave swapped it out (and a
-     recycled slot's last occupant left the same way). *)
+  (* Fig. 4 enter: a wait-free store. The slot necessarily reads the idle
+     word here — the previous leave swapped it out (and a recycled slot's
+     last occupant left the same way). *)
   let enter t =
     let sid = Smr.Slot_registry.ensure t.reg ~tid:(R.self ()) in
-    R.Atomic.set t.slots.(sid).head { active = true; hptr = None };
-    { sid; handle = None }
+    R.Atomic.set t.slots.(sid).head { active = true; hptr = B.nil () };
+    { sid; handle = B.nil () }
 
   (* Decrement every batch in the detached list once (this thread owned the
      only reference this slot contributed); free on zero, FIFO-deferred. *)
+  let rec traverse_go to_free curr handle =
+    if B.is_nil curr then to_free
+    else begin
+      Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
+        curr.B.state;
+      let next = R.Atomic.get curr.B.next in
+      let b = B.batch_of curr in
+      let to_free =
+        if R.Atomic.fetch_and_add b.nref (-1) = 1 then b :: to_free
+        else to_free
+      in
+      if B.same_node curr handle then to_free
+      else traverse_go to_free next handle
+    end
+
   let traverse t first handle =
-    let to_free = ref [] in
-    let rec go curr =
-      match curr with
-      | None -> ()
-      | Some n ->
-          Smr.Lifecycle.check_not_freed ~scheme:F.scheme_name ~what:"traverse"
-            n.B.state;
-          let next = R.Atomic.get n.B.next in
-          let b = B.batch_of n in
-          if R.Atomic.fetch_and_add b.nref (-1) = 1 then
-            to_free := b :: !to_free;
-          if not (B.same_node curr handle) then go next
-    in
-    go first;
-    List.iter (B.free_batch ~counters:t.counters) (List.rev !to_free)
+    List.iter
+      (B.free_batch ~counters:t.counters)
+      (List.rev (traverse_go [] first handle))
 
   (* Fig. 4 leave: a wait-free swap detaching the whole list. *)
   let leave t g =
-    let old = R.Atomic.exchange t.slots.(g.sid).head idle in
-    if Option.is_some old.hptr then traverse t old.hptr g.handle
+    let old = R.Atomic.exchange t.slots.(g.sid).head t.idle in
+    if not (B.is_nil old.hptr) then traverse t old.hptr g.handle
 
   (* leave + enter fused, keeping the active bit set throughout. *)
   let trim t g =
     Smr.Metrics.Counter.incr t.m_trims;
     let slot = t.slots.(g.sid) in
-    let old = R.Atomic.exchange slot.head { active = true; hptr = None } in
+    let old =
+      R.Atomic.exchange slot.head { active = true; hptr = B.nil () }
+    in
     assert old.active;
-    if Option.is_some old.hptr then traverse t old.hptr g.handle;
+    if not (B.is_nil old.hptr) then traverse t old.hptr g.handle;
     g
 
   (* Fig. 5 deref; touch is an ordinary write (1:1 thread-to-slot). *)
+  let rec protect_attempt t slot read access =
+    let v = read () in
+    let alloc = R.Atomic.get t.era in
+    if access >= alloc then v
+    else begin
+      R.Atomic.set slot.access alloc;
+      protect_attempt t slot read alloc
+    end
+
   let protect t g ~idx:_ ~read ~target:_ =
     if not F.robust then read ()
-    else begin
+    else
       let slot = t.slots.(g.sid) in
-      let rec attempt access =
-        let v = read () in
-        let alloc = R.Atomic.get t.era in
-        if access >= alloc then v
-        else begin
-          R.Atomic.set slot.access alloc;
-          attempt alloc
-        end
-      in
-      attempt (R.Atomic.get slot.access)
-    end
+      protect_attempt t slot read (R.Atomic.get slot.access)
 
   (* Fig. 4 retire: count the slots the batch lands in, then adjust NRef by
      that count (no Adjs constants, no predecessor adjustment). *)
+  let rec insert_attempt t (b : 'a B.batch) slot cursor =
+    let seen = R.Atomic.get slot.head in
+    let skip =
+      (not seen.active)
+      || (F.robust && R.Atomic.get slot.access < b.B.min_birth)
+    in
+    if skip then false
+    else begin
+      let node = b.B.nodes.(cursor) in
+      R.Atomic.set node.B.next seen.hptr;
+      if R.Atomic.compare_and_set slot.head seen { active = true; hptr = node }
+      then true
+      else begin
+        Smr.Metrics.Counter.incr t.m_insert_retries;
+        insert_attempt t b slot cursor
+      end
+    end
+
   let retire_batch t (b : 'a B.batch) =
     let cursor = ref 1 in
     let inserts = ref 0 in
     (* Live (registered) slots only, in ascending slot order: retire cost
        tracks the number of threads actually present, not the capacity. *)
     Smr.Slot_registry.iter_live t.reg (fun i ->
-        let slot = t.slots.(i) in
-        let rec attempt () =
-          let seen = R.Atomic.get slot.head in
-          let skip =
-            (not seen.active)
-            || (F.robust && R.Atomic.get slot.access < b.min_birth)
-          in
-          if not skip then begin
-            let node = b.nodes.(!cursor) in
-            R.Atomic.set node.B.next seen.hptr;
-            if
-              R.Atomic.compare_and_set slot.head seen
-                { active = true; hptr = Some node }
-            then begin
-              incr cursor;
-              incr inserts
-            end
-            else begin
-              Smr.Metrics.Counter.incr t.m_insert_retries;
-              attempt ()
-            end
-          end
-        in
-        attempt ());
+        if insert_attempt t b t.slots.(i) !cursor then begin
+          incr cursor;
+          incr inserts
+        end);
     (* When [inserts = 0] no slot was active and the FAA finds NRef at 0,
        freeing the batch on the spot. *)
     if R.Atomic.fetch_and_add b.nref !inserts = - !inserts then
@@ -180,13 +186,14 @@ struct
   let effective_batch t = max t.cfg.batch_size (Array.length t.slots + 1)
 
   let seal_pending t (p : 'a pending) =
-    let nodes = p.nodes in
     Smr.Metrics.Counter.incr t.m_sealed;
     Smr.Metrics.Counter.add t.m_sealed_nodes p.len;
-    p.nodes <- [];
+    let b =
+      B.seal ~counters:t.counters ~pool:t.pool ~k:(Array.length t.slots)
+        ~adjs:0 p.buf p.len
+    in
     p.len <- 0;
-    retire_batch t
-      (B.seal ~counters:t.counters ~k:(Array.length t.slots) ~adjs:0 nodes)
+    retire_batch t b
 
   (* Budget relief: seal this thread's own pending batch early, if it is
      already long enough to be a valid batch (> k nodes). Never pads with
@@ -194,6 +201,32 @@ struct
   let relieve_pressure t () =
     let p = t.pending.(Smr.Slot_registry.ensure t.reg ~tid:(R.self ())) in
     if p.len > Array.length t.slots then seal_pending t p
+
+  let create (cfg : Smr.Smr_intf.config) =
+    let idle = { active = false; hptr = B.nil () } in
+    let t =
+      {
+        cfg;
+        counters =
+          Smr.Lifecycle.make_counters ~mem:(Smr.Smr_intf.mem_config cfg) ();
+        reg = Smr.Slot_registry.create ~capacity:cfg.max_threads;
+        slots =
+          Array.init cfg.max_threads (fun _ ->
+              { head = R.Atomic.make idle; access = R.Atomic.make 0 });
+        idle;
+        era = R.Atomic.make 0;
+        alloc_clock = Stdlib.Atomic.make 0;
+        pending = Array.init cfg.max_threads (fun _ -> { buf = [||]; len = 0 });
+        pool = B.make_pool ();
+        on_pressure = ignore;
+        m_sealed = Smr.Metrics.Counter.make "batches_sealed";
+        m_sealed_nodes = Smr.Metrics.Counter.make "batch_nodes_sealed";
+        m_trims = Smr.Metrics.Counter.make "trims";
+        m_insert_retries = Smr.Metrics.Counter.make "insert_cas_retries";
+      }
+    in
+    t.on_pressure <- relieve_pressure t;
+    t
 
   let alloc ?bytes t payload =
     let mem_bytes =
@@ -209,15 +242,14 @@ struct
       end
       else 0
     in
-    B.make_node ~bytes:mem_bytes ~relieve:(relieve_pressure t)
+    B.make_node ~bytes:mem_bytes ~relieve:t.on_pressure
       ~scheme:F.scheme_name ~counters:t.counters ~birth payload
 
   let retire t g n =
     Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name n.B.state
       t.counters;
     let p = t.pending.(g.sid) in
-    p.nodes <- n :: p.nodes;
-    p.len <- p.len + 1;
+    push_pending p n;
     if p.len >= effective_batch t then seal_pending t p
 
   (* Mid-run reclaimer entry point: seal every pending batch that already
@@ -238,15 +270,12 @@ struct
     for sid = 0 to t.cfg.max_threads - 1 do
       let p = t.pending.(sid) in
       if p.len > 0 then begin
-        let sample =
-          match p.nodes with n :: _ -> n.B.payload | [] -> assert false
-        in
+        let sample = p.buf.(p.len - 1).B.payload in
         while p.len < needed do
           let d = alloc t sample in
           Smr.Lifecycle.on_retire ~tally:false ~scheme:F.scheme_name
             d.B.state t.counters;
-          p.nodes <- d :: p.nodes;
-          p.len <- p.len + 1
+          push_pending p d
         done;
         seal_pending t p
       end

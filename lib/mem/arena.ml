@@ -30,7 +30,11 @@ type klass = {
   class_bytes : int;
   mutable current : Slab.t;  (** the slab being carved *)
   mutable retired_slabs : Slab.t list;  (** full slabs, kept resident *)
-  mutable free : slot list;  (** LIFO free list *)
+  (* LIFO free list as an array stack: pushes and pops move [free_len]
+     over a reusable buffer, so the steady-state alloc/free cycle builds
+     no list cells (DESIGN.md §15). *)
+  mutable free : slot array;
+  mutable free_len : int;
 }
 
 type t = {
@@ -69,15 +73,14 @@ let node_bytes t = t.cfg.Mem_intf.node_bytes
 let budget_bytes t = t.cfg.Mem_intf.budget_bytes
 
 (* Power-of-two size classes with a 16-byte floor (two words: every node
-   carries at least a payload and a link). *)
+   carries at least a payload and a link). Top-level recursion: a local
+   [rec] here would close over [bytes] and allocate on every call. *)
+let rec size_class_from c bytes =
+  if c >= bytes then c else size_class_from (2 * c) bytes
+
 let size_class bytes =
   if bytes <= 0 then invalid_arg "Arena.size_class: bytes must be positive";
-  let rec go c = if c >= bytes then c else go (2 * c) in
-  go 16
-
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  size_class_from 16 bytes
 
 let new_slab t ~class_bytes =
   let slab =
@@ -90,73 +93,98 @@ let new_slab t ~class_bytes =
     (Stdlib.Atomic.fetch_and_add t.slab_bytes (Slab.storage_bytes slab));
   slab
 
-let find_class t class_bytes =
-  match
-    List.find_opt (fun k -> k.class_bytes = class_bytes) t.classes
-  with
-  | Some k -> k
-  | None ->
+(* Closure-free class lookup: the class list is tiny (one entry per
+   distinct size class), and the miss path — which allocates the class
+   record — runs once per class per arena lifetime. *)
+let rec class_in t class_bytes = function
+  | k :: rest ->
+      if k.class_bytes = class_bytes then k else class_in t class_bytes rest
+  | [] ->
       let k =
         {
           class_bytes;
           current = new_slab t ~class_bytes;
           retired_slabs = [];
-          free = [];
+          free = [||];
+          free_len = 0;
         }
       in
       t.classes <- k :: t.classes;
       k
 
-let raise_hwm cell v =
-  let rec go () =
-    let p = Stdlib.Atomic.get cell in
-    if v > p && not (Stdlib.Atomic.compare_and_set cell p v) then go ()
-  in
-  go ()
+let find_class t class_bytes = class_in t class_bytes t.classes
+
+let rec raise_hwm cell v =
+  let p = Stdlib.Atomic.get cell in
+  if v > p && not (Stdlib.Atomic.compare_and_set cell p v) then raise_hwm cell v
 
 let bytes_resident t = Stdlib.Atomic.get t.resident
 
-let alloc t ~bytes : (slot, [ `Budget ]) result =
+exception Budget
+(** Raised by {!alloc_exn} when the allocation would exceed the byte
+    budget. A constant constructor, so refusal allocates nothing. *)
+
+(* The hot path holds the lock directly — no [Fun.protect], whose two
+   closures per call dominated the retire path's allocation profile. The
+   critical section cannot raise except for [Budget] itself, handled
+   explicitly. *)
+let alloc_exn t ~bytes : slot =
   let class_bytes = size_class bytes in
-  locked t (fun () ->
-      let over_budget =
-        match t.cfg.Mem_intf.budget_bytes with
-        | Some b -> Stdlib.Atomic.get t.resident + class_bytes > b
-        | None -> false
-      in
-      if over_budget then begin
-        Stdlib.Atomic.incr t.pressure_events;
-        Error `Budget
+  Mutex.lock t.lock;
+  let over_budget =
+    match t.cfg.Mem_intf.budget_bytes with
+    | Some b -> Stdlib.Atomic.get t.resident + class_bytes > b
+    | None -> false
+  in
+  if over_budget then begin
+    Stdlib.Atomic.incr t.pressure_events;
+    Mutex.unlock t.lock;
+    raise Budget
+  end
+  else begin
+    let k = find_class t class_bytes in
+    let slot =
+      if k.free_len > 0 then begin
+        let s = k.free.(k.free_len - 1) in
+        k.free_len <- k.free_len - 1;
+        Slab.reissue s;
+        Stdlib.Atomic.incr t.reuse_hits;
+        s
       end
       else begin
-        let k = find_class t class_bytes in
-        let slot =
-          match k.free with
-          | s :: rest ->
-              k.free <- rest;
-              Slab.reissue s;
-              Stdlib.Atomic.incr t.reuse_hits;
-              s
-          | [] ->
-              if Slab.full k.current then begin
-                k.retired_slabs <- k.current :: k.retired_slabs;
-                k.current <- new_slab t ~class_bytes
-              end;
-              Stdlib.Atomic.incr t.fresh_allocs;
-              Slab.carve k.current
-        in
-        let r = Stdlib.Atomic.fetch_and_add t.resident class_bytes in
-        raise_hwm t.resident_hwm (r + class_bytes);
-        Ok slot
-      end)
+        if Slab.full k.current then begin
+          k.retired_slabs <- k.current :: k.retired_slabs;
+          k.current <- new_slab t ~class_bytes
+        end;
+        Stdlib.Atomic.incr t.fresh_allocs;
+        Slab.carve k.current
+      end
+    in
+    let r = Stdlib.Atomic.fetch_and_add t.resident class_bytes in
+    raise_hwm t.resident_hwm (r + class_bytes);
+    Mutex.unlock t.lock;
+    slot
+  end
+
+let alloc t ~bytes : (slot, [ `Budget ]) result =
+  match alloc_exn t ~bytes with
+  | slot -> Ok slot
+  | exception Budget -> Error `Budget
 
 let free t (slot : slot) =
-  locked t (fun () ->
-      let class_bytes = Slab.slot_bytes slot in
-      let k = find_class t class_bytes in
-      Slab.release slot;
-      k.free <- slot :: k.free;
-      ignore (Stdlib.Atomic.fetch_and_add t.resident (-class_bytes)))
+  Mutex.lock t.lock;
+  let class_bytes = Slab.slot_bytes slot in
+  let k = find_class t class_bytes in
+  Slab.release slot;
+  if k.free_len = Array.length k.free then begin
+    let grown = Array.make (max 8 (2 * k.free_len)) slot in
+    Array.blit k.free 0 grown 0 k.free_len;
+    k.free <- grown
+  end;
+  k.free.(k.free_len) <- slot;
+  k.free_len <- k.free_len + 1;
+  ignore (Stdlib.Atomic.fetch_and_add t.resident (-class_bytes));
+  Mutex.unlock t.lock
 
 let note_pressure t = Stdlib.Atomic.incr t.pressure_events
 let note_oom t = Stdlib.Atomic.incr t.oom_failures

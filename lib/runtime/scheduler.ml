@@ -99,11 +99,21 @@ type t = {
       (* activation time of the queue head, [max_int] when empty — folded
          into the step fast path's deadline test so churn-free runs pay
          nothing and draw the RNG exactly as before *)
-  mutable sleep_queue : (int * int) list;
-      (* [(wake_at, tid)] for threads parked by [sleep_until], sorted by
-         wake time (stable for equal times); woken by the run loop *)
+  mutable sleep_at : int array;
+      (* binary min-heap of threads parked by [sleep_until], keyed
+         lexicographically by (wake_at, seq): [sleep_at]/[sleep_tid]/
+         [sleep_seq] are parallel arrays over the used prefix
+         [0, sleep_len). The monotone sequence number breaks wake-time
+         ties in insertion order, so equal-time sleepers wake FIFO —
+         exactly the stable order the sorted-list queue this replaces
+         produced — while insert and pop are O(log n) instead of O(n),
+         which is what keeps 10^4+ parked open-loop clients affordable. *)
+  mutable sleep_tid : int array;
+  mutable sleep_seqs : int array;
+  mutable sleep_len : int;
+  mutable sleep_seq : int;  (* next tie-break ticket, monotone *)
   mutable next_wake : int;
-      (* wake time of the sleep-queue head, [max_int] when empty *)
+      (* wake time of the heap root, [max_int] when empty *)
   mutable next_timed : int;
       (* [min next_spawn next_wake], cached so the step fast path keeps
          its single timer compare. Timer-free runs hold [max_int] here
@@ -232,7 +242,11 @@ let create ?(seed = 42) () =
       on_decision = None;
       spawn_queue = [];
       next_spawn = max_int;
-      sleep_queue = [];
+      sleep_at = [||];
+      sleep_tid = [||];
+      sleep_seqs = [||];
+      sleep_len = 0;
+      sleep_seq = 0;
       next_wake = max_int;
       next_timed = max_int;
       tracer = None;
@@ -311,7 +325,86 @@ let activate_due t =
   refresh_timed t
 
 let pending_spawns t = List.length t.spawn_queue
-let pending_sleeps t = List.length t.sleep_queue
+let pending_sleeps t = t.sleep_len
+
+(* -- the sleep heap -------------------------------------------------------
+
+   Classic array-backed binary min-heap over (wake_at, seq). Entry [i]'s
+   children live at [2i+1]/[2i+2]; the root is the earliest wake, with
+   the insertion ticket as tie-break so FIFO order among equal deadlines
+   is a heap invariant, not an accident of sift order. *)
+
+let[@inline] sleep_less t i j =
+  let ai = Array.unsafe_get t.sleep_at i and aj = Array.unsafe_get t.sleep_at j in
+  ai < aj
+  || (ai = aj && Array.unsafe_get t.sleep_seqs i < Array.unsafe_get t.sleep_seqs j)
+
+let[@inline] sleep_swap t i j =
+  let swap a =
+    let x = Array.unsafe_get a i in
+    Array.unsafe_set a i (Array.unsafe_get a j);
+    Array.unsafe_set a j x
+  in
+  swap t.sleep_at;
+  swap t.sleep_tid;
+  swap t.sleep_seqs
+
+let sleep_push t ~at ~tid =
+  if t.sleep_len = Array.length t.sleep_at then begin
+    let cap = max 8 (2 * t.sleep_len) in
+    let grow a =
+      let grown = Array.make cap 0 in
+      Array.blit a 0 grown 0 t.sleep_len;
+      grown
+    in
+    t.sleep_at <- grow t.sleep_at;
+    t.sleep_tid <- grow t.sleep_tid;
+    t.sleep_seqs <- grow t.sleep_seqs
+  end;
+  let i = t.sleep_len in
+  t.sleep_at.(i) <- at;
+  t.sleep_tid.(i) <- tid;
+  t.sleep_seqs.(i) <- t.sleep_seq;
+  t.sleep_seq <- t.sleep_seq + 1;
+  t.sleep_len <- i + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if sleep_less t i parent then begin
+        sleep_swap t i parent;
+        up parent
+      end
+    end
+  in
+  up i;
+  t.next_wake <- t.sleep_at.(0)
+
+(* Remove the root (the earliest (wake_at, seq)) and return its tid. *)
+let sleep_pop t =
+  let tid = t.sleep_tid.(0) in
+  let last = t.sleep_len - 1 in
+  t.sleep_len <- last;
+  if last > 0 then begin
+    t.sleep_at.(0) <- t.sleep_at.(last);
+    t.sleep_tid.(0) <- t.sleep_tid.(last);
+    t.sleep_seqs.(0) <- t.sleep_seqs.(last);
+    (* Sift down. *)
+    let rec down i =
+      let l = (2 * i) + 1 in
+      if l < last then begin
+        let r = l + 1 in
+        let c = if r < last && sleep_less t r l then r else l in
+        if sleep_less t c i then begin
+          sleep_swap t c i;
+          down c
+        end
+      end
+    in
+    down 0
+  end;
+  t.next_wake <- (if last > 0 then t.sleep_at.(0) else max_int);
+  tid
 
 let self () =
   match !(active ()) with
@@ -395,16 +488,7 @@ let sleep_until at =
   match !(active ()) with
   | Some t when t.current >= 0 ->
       if at > t.clock then begin
-        let tid = t.current in
-        let rec insert = function
-          | [] -> [ (at, tid) ]
-          | (a, _) :: _ as rest when at < a -> (at, tid) :: rest
-          | entry :: rest -> entry :: insert rest
-        in
-        t.sleep_queue <- insert t.sleep_queue;
-        (match t.sleep_queue with
-        | (a, _) :: _ -> t.next_wake <- a
-        | [] -> assert false);
+        sleep_push t ~at ~tid:t.current;
         refresh_timed t;
         Effect.perform Stall
       end
@@ -414,16 +498,9 @@ let sleep_until at =
    meanwhile killed, finished, or externally unstalled is simply dropped
    ([unstall] only acts on stalled threads). *)
 let wake_due t =
-  let rec go () =
-    match t.sleep_queue with
-    | (at, tid) :: rest when at <= t.clock ->
-        t.sleep_queue <- rest;
-        unstall t tid;
-        go ()
-    | (at, _) :: _ -> t.next_wake <- at
-    | [] -> t.next_wake <- max_int
-  in
-  go ();
+  while t.sleep_len > 0 && t.sleep_at.(0) <= t.clock do
+    unstall t (sleep_pop t)
+  done;
   refresh_timed t
 
 let check_tid t tid ~what =

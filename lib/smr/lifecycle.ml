@@ -28,11 +28,28 @@
 
 type state = Live | Retired | Freed
 
+(* The lifecycle state and the birth generation share one unboxed atomic
+   int: the low two bits are the state code, the rest is [slot]'s
+   generation at this node's birth (DESIGN.md §15). Packing removes the
+   [state Atomic.t] heap box the old layout paid per node; the generation
+   bits are immutable after birth, so a read-modify-exchange on the packed
+   word transitions the state atomically. *)
 type cell = {
-  state : state Stdlib.Atomic.t;
+  sg : int Stdlib.Atomic.t;  (** [(birth_gen lsl 2) lor state_code] *)
   slot : Mem.Arena.slot;  (** the storage this node models occupying *)
-  gen : int;  (** [slot]'s generation at this node's birth *)
 }
+
+let st_live = 0
+let st_retired = 1
+let st_freed = 2
+let[@inline] state_code sg = sg land 3
+let[@inline] birth_gen sg = sg asr 2
+
+let state_of cell =
+  match state_code (Stdlib.Atomic.get cell.sg) with
+  | 0 -> Live
+  | 1 -> Retired
+  | _ -> Freed
 
 type counters = {
   allocated : int Stdlib.Atomic.t;
@@ -60,20 +77,29 @@ let stats c : Smr_intf.stats =
     freed = Stdlib.Atomic.get c.freed;
   }
 
-let peak_unreclaimed c = Stdlib.Atomic.get c.peak_unreclaimed
-
 (* Raise the high-water mark to the current [retired - freed]. Monotone
-   CAS loop on plain atomics; called after every retired-count bump. *)
+   CAS loop on plain atomics. The mark is maintained {e lazily}: between
+   two frees, [retired - freed] only rises, so its maximum over any
+   interval is attained just before a free or at an observation point.
+   Noting it there — once per free and once per reader — captures exactly
+   the same peak as the old note-after-every-retire discipline while the
+   retire hot path pays nothing, and batch retirements
+   ({!tally_retired}) cost one counter bump for the whole batch. *)
+let rec raise_peak_to cell u =
+  let p = Stdlib.Atomic.get cell in
+  if u > p && not (Stdlib.Atomic.compare_and_set cell p u) then
+    raise_peak_to cell u
+
 let note_unreclaimed c =
-  let u = Stdlib.Atomic.get c.retired - Stdlib.Atomic.get c.freed in
-  let rec raise_to () =
-    let p = Stdlib.Atomic.get c.peak_unreclaimed in
-    if u > p && not (Stdlib.Atomic.compare_and_set c.peak_unreclaimed p u)
-    then raise_to ()
-  in
-  raise_to ()
+  raise_peak_to c.peak_unreclaimed
+    (Stdlib.Atomic.get c.retired - Stdlib.Atomic.get c.freed)
+
+let peak_unreclaimed c =
+  note_unreclaimed c;
+  Stdlib.Atomic.get c.peak_unreclaimed
 
 let snapshot ~scheme ~series c : Metrics.snapshot =
+  note_unreclaimed c;
   {
     scheme;
     allocated = Stdlib.Atomic.get c.allocated;
@@ -86,13 +112,13 @@ let snapshot ~scheme ~series c : Metrics.snapshot =
 
 (* The two-phase budget protocol: refuse -> relieve -> retry -> OOM. *)
 let acquire_slot ?relieve ~scheme ~bytes counters =
-  match Mem.Arena.alloc counters.arena ~bytes with
-  | Ok slot -> slot
-  | Error `Budget -> (
+  match Mem.Arena.alloc_exn counters.arena ~bytes with
+  | slot -> slot
+  | exception Mem.Arena.Budget -> (
       (match relieve with Some f -> f () | None -> ());
-      match Mem.Arena.alloc counters.arena ~bytes with
-      | Ok slot -> slot
-      | Error `Budget ->
+      match Mem.Arena.alloc_exn counters.arena ~bytes with
+      | slot -> slot
+      | exception Mem.Arena.Budget ->
           Mem.Arena.note_oom counters.arena;
           raise
             (Mem.Mem_intf.Out_of_memory
@@ -105,6 +131,12 @@ let acquire_slot ?relieve ~scheme ~bytes counters =
                      ~default:0)
                   (Mem.Arena.bytes_resident counters.arena))))
 
+let[@inline] fresh_cell slot =
+  {
+    sg = Stdlib.Atomic.make ((Mem.Arena.slot_gen slot lsl 2) lor st_live);
+    slot;
+  }
+
 (* [bytes] defaults to the arena's configured node size; [relieve] is the
    scheme's bounded own-thread reclamation attempt, invoked only under
    budget pressure. *)
@@ -116,43 +148,68 @@ let on_alloc ?bytes ?relieve ~scheme counters : cell =
   in
   let slot = acquire_slot ?relieve ~scheme ~bytes counters in
   Stdlib.Atomic.incr counters.allocated;
-  { state = Stdlib.Atomic.make Live; slot; gen = Mem.Arena.slot_gen slot }
+  fresh_cell slot
+
+(* Allocation-free variant of {!on_alloc} for per-node hot paths: both
+   labels are required, so no [Some] box is built per call and the
+   defaulting match disappears. [bytes = 0] means the arena's configured
+   node size. *)
+let on_alloc_hot ~bytes ~relieve ~scheme counters : cell =
+  let bytes =
+    if bytes > 0 then bytes else Mem.Arena.node_bytes counters.arena
+  in
+  let slot =
+    match Mem.Arena.alloc_exn counters.arena ~bytes with
+    | slot -> slot
+    | exception Mem.Arena.Budget ->
+        acquire_slot ~relieve ~scheme ~bytes counters
+  in
+  Stdlib.Atomic.incr counters.allocated;
+  fresh_cell slot
+
+(* Atomically install state [code], preserving the (immutable) generation
+   bits, and return the previous state code. *)
+let[@inline] transition cell code =
+  let cur = Stdlib.Atomic.get cell.sg in
+  state_code (Stdlib.Atomic.exchange cell.sg ((cur land lnot 3) lor code))
 
 (* [tally:false] defers the statistics bump (the Hyaline engines count a
    node as retired when its batch is sealed, matching the magnitudes the
    paper reports — see EXPERIMENTS.md) while still enforcing the
-   retire-once lifecycle transition here. *)
+   retire-once lifecycle transition here. The high-water mark is not
+   touched here: see {!note_unreclaimed}. *)
 let on_retire ?(tally = true) ~scheme cell counters =
-  match Stdlib.Atomic.exchange cell.state Retired with
-  | Live ->
-      if tally then begin
-        Stdlib.Atomic.incr counters.retired;
-        note_unreclaimed counters
-      end
-  | Retired -> invalid_arg (scheme ^ ": node retired twice")
-  | Freed -> raise (Smr_intf.Use_after_free (scheme ^ ": retire after free"))
+  match transition cell st_retired with
+  | 0 (* Live *) -> if tally then Stdlib.Atomic.incr counters.retired
+  | 1 (* Retired *) -> invalid_arg (scheme ^ ": node retired twice")
+  | _ (* Freed *) ->
+      raise (Smr_intf.Use_after_free (scheme ^ ": retire after free"))
 
+(* One counter bump for a whole sealed batch — the batched companion of
+   the [tally:true] retire path. *)
 let tally_retired counters n =
-  ignore (Stdlib.Atomic.fetch_and_add counters.retired n);
-  note_unreclaimed counters
+  ignore (Stdlib.Atomic.fetch_and_add counters.retired n)
 
 let on_free ~scheme cell counters =
-  match Stdlib.Atomic.exchange cell.state Freed with
-  | Retired ->
+  (* Note the mark while this node still counts as unreclaimed: the
+     lazy discipline's one update per free (see {!note_unreclaimed}). *)
+  note_unreclaimed counters;
+  match transition cell st_freed with
+  | 1 (* Retired *) ->
       Stdlib.Atomic.incr counters.freed;
       (* Drain the slot back to the arena: the next allocation of this size
          class may reissue it under a bumped generation. *)
       Mem.Arena.free counters.arena cell.slot
-  | Freed -> raise (Smr_intf.Double_free scheme)
-  | Live -> invalid_arg (scheme ^ ": freeing a node that was never retired")
+  | 2 (* Freed *) -> raise (Smr_intf.Double_free scheme)
+  | _ (* Live *) ->
+      invalid_arg (scheme ^ ": freeing a node that was never retired")
 
 let check_not_freed ~scheme ~what cell =
-  match Stdlib.Atomic.get cell.state with
-  | Live | Retired -> ()
-  | Freed ->
-      let msg =
-        if Mem.Arena.slot_gen cell.slot <> cell.gen then
-          scheme ^ ": " ^ what ^ " (use after free; slot since reused — ABA)"
-        else scheme ^ ": " ^ what
-      in
-      raise (Smr_intf.Use_after_free msg)
+  let sg = Stdlib.Atomic.get cell.sg in
+  if state_code sg = st_freed then
+    let msg =
+      if Mem.Arena.slot_gen cell.slot <> birth_gen sg then
+        scheme ^ ": " ^ what ^ " (use after free; slot since reused — ABA)"
+      else scheme ^ ": " ^ what
+    in
+    raise (Smr_intf.Use_after_free msg)

@@ -70,6 +70,50 @@ let test_sleep_until () =
     "deadline order" [ "a"; "b"; "c" ] (List.rev !order);
   Alcotest.(check int) "no pending sleepers left" 0 (Sched.pending_sleeps sched)
 
+(* Equal-deadline sleepers wake in park order: the timer heap is keyed
+   (wake_at, seq) with a monotone sequence number, reproducing the old
+   sorted list's stable insertion order exactly. Waking is the
+   [Ev_unstall] the run loop emits as it pops due timers — what happens
+   after that is the ordinary random picker, so the heap's FIFO contract
+   is asserted on the trace, not on resume order. Property-style: random
+   rounds of sleepers drawn from a tiny deadline range, so collisions are
+   the common case, checked against a stable sort of the observed park
+   order. Recording the park happens on the same uncharged step as the
+   [sleep_until] call, so the recorded order {e is} the park order. *)
+let test_timer_fifo () =
+  let rng = Random.State.make [| 424242 |] in
+  for round = 1 to 20 do
+    let sched = Sched.create ~seed:(100 + round) () in
+    let n = 40 in
+    let parked = ref [] in
+    let woken = ref [] in
+    Sched.set_tracer sched
+      (Some
+         (function
+         | Sched.Ev_unstall { tid; _ } -> woken := tid :: !woken
+         | _ -> ()));
+    for _ = 1 to n do
+      ignore
+        (Sched.spawn sched (fun () ->
+             let at = 10 + Random.State.int rng 5 in
+             parked := (at, Sched.self ()) :: !parked;
+             Sched.sleep_until at))
+    done;
+    (match Sched.run sched with
+    | Sched.All_finished -> ()
+    | _ -> Alcotest.fail "timer-fifo sleepers did not finish");
+    let expected =
+      List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !parked)
+      |> List.map snd
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d: equal-time sleepers wake FIFO" round)
+      expected (List.rev !woken);
+    Alcotest.(check int)
+      "no pending sleepers left" 0
+      (Sched.pending_sleeps sched)
+  done
+
 (* -- arrival processes ---------------------------------------------------- *)
 
 let gaps_of proc ~n =
@@ -365,6 +409,47 @@ let test_open_loop_smoke () =
     (Histogram.to_list sv.Workload.sv_sojourn)
     (Histogram.to_list sv2.Workload.sv_sojourn)
 
+(* The heap-backed timer queue must replay the exact schedule the old
+   sorted-list queue produced — same wake order, same interleaving, same
+   served counts and latency histograms. This hash was recorded against
+   the sorted-list implementation on the same seeded churn + service
+   schedule (timer-heavy on both sides: bursty arrivals, a periodic
+   reclaimer and session lanes all park on the queue), so any reordering
+   the heap introduces — including equal-deadline ties broken off FIFO —
+   shows up as a hash drift here. *)
+let test_timer_schedule_golden () =
+  let spec =
+    {
+      open_spec with
+      Workload.cfg =
+        Test_support.test_cfg ~threads:7 (* 1 + 3 workers + reclaimer + 2 lanes *);
+      churn = Some { Workload.sessions = 40; session_ops = 4; lanes = 2 };
+    }
+  in
+  let render () =
+    let r = run_open (module Test_support.Hyaline_s) spec in
+    let sv = Option.get r.Workload.service in
+    let b = Buffer.create 4096 in
+    let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    add "ops=%d;steps=%d;arrivals=%d;served=%d;hot=%d;wakes=%d;"
+      r.Workload.ops r.Workload.steps sv.Workload.sv_arrivals
+      sv.Workload.sv_served sv.Workload.sv_hot_ops
+      sv.Workload.sv_reclaimer_wakes;
+    List.iter (add "q%d,") (Histogram.to_list sv.Workload.sv_queue);
+    List.iter (add "s%d,") (Histogram.to_list sv.Workload.sv_sojourn);
+    List.iter
+      (fun (s : Workload.sample) ->
+        add "t%d:%d:%d;" s.Workload.s_at s.Workload.s_resident
+          s.Workload.s_unreclaimed)
+      r.Workload.timeline;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
+  let h = render () in
+  Alcotest.(check string) "churn+service schedule replays" h (render ());
+  Alcotest.(check string)
+    "churn+service schedule golden (sorted-list trace)"
+    "4dc8fd3eb36fa920389e8f9d0cee4c1f" h
+
 let test_dedicated_reclaimer () =
   let spec =
     {
@@ -469,6 +554,9 @@ let test_oom_rows_cached () =
 let suite =
   [
     Alcotest.test_case "sleep-until" `Quick test_sleep_until;
+    Alcotest.test_case "timer-fifo" `Quick test_timer_fifo;
+    Alcotest.test_case "timer-schedule-golden" `Quick
+      test_timer_schedule_golden;
     Alcotest.test_case "poisson-mean" `Quick test_poisson_mean;
     Alcotest.test_case "bursty-diurnal" `Quick test_bursty_and_diurnal;
     Alcotest.test_case "arrival-goldens" `Quick test_arrival_golden;

@@ -179,4 +179,29 @@ grep -q "rows identical" "$tmpdir/selfbench.log" || {
   echo "selfbench smoke: parallel sweep rows diverged from sequential"
   exit 1; }
 
+# Parallel-sweep speedup expectation: with at least two cores the 2-domain
+# sweep must actually be faster than sequential. The selfbench line
+# records the core count, so a single-core CI box skips the expectation
+# (with a note) instead of failing on physics.
+sweepline=$(grep "selfbench parallel-sweep" "$tmpdir/selfbench.log")
+cores=$(printf '%s\n' "$sweepline" | sed -n 's/.*(\([0-9][0-9]*\) cores.*/\1/p')
+speedup=$(printf '%s\n' "$sweepline" | sed -n 's/.*speedup \([0-9.]*\)x.*/\1/p')
+if [ "${cores:-1}" -lt 2 ]; then
+  echo "note: parallel-sweep speedup expectation skipped (${cores:-1} core available)"
+else
+  awk -v s="${speedup:-0}" 'BEGIN { exit (s >= 1.1) ? 0 : 1 }' || {
+    echo "selfbench smoke: parallel sweep speedup ${speedup}x < 1.1x on $cores cores"
+    exit 1; }
+fi
+
+# Allocation gate: the smoke selfbench's retire section must not allocate
+# more than 1.1x the committed baseline's minor words per retired node —
+# the hard floor under the allocation-free retire path (DESIGN.md §15).
+# bench_diff also prints the full section-by-section delta into the log.
+echo "==> bench diff vs committed baseline (allocation gate)"
+dune exec tools/bench_diff.exe -- BENCH_simperf.json \
+  "$tmpdir/BENCH_smoke.json" retire:minor_words_per_op:1.1 || {
+  echo "bench diff: retire-path allocation regressed past baseline x1.1"
+  exit 1; }
+
 echo "==> all checks passed"
